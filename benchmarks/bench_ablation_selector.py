@@ -1,0 +1,71 @@
+"""Ablation: model-driven kernel selection (paper §5).
+
+"The CSR, CSR-vector and ELL kernels ... can be modeled as special
+cases of our tile-composite kernel ... The best predicted kernel can be
+chosen to perform real computation of the data."
+
+For a spread of matrix classes the selector's prediction-based choice is
+compared against the ground truth (the actually fastest simulated
+kernel among the candidates).
+"""
+
+from repro.core.lookup import LookupTable
+from repro.core.selector import SELECTABLE, select_kernel
+from repro.errors import FormatNotApplicableError
+from repro.kernels import create
+from repro.plotting import ascii_table
+
+from harness import (
+    GRAPH_SCALE,
+    UNSTRUCTURED_SCALE,
+    dataset_device,
+    emit,
+    load_dataset,
+)
+
+CASES = [
+    ("flickr", GRAPH_SCALE),
+    ("youtube", GRAPH_SCALE),
+    ("dense", UNSTRUCTURED_SCALE),
+    ("lp", UNSTRUCTURED_SCALE),
+    ("fem-harbor", UNSTRUCTURED_SCALE),
+]
+
+
+def test_kernel_selector(benchmark):
+    rows = []
+    agreements = 0
+    for name, scale in CASES:
+        ds = load_dataset(name, scale)
+        device = dataset_device(name, scale)
+        table = LookupTable(device)
+        choice = select_kernel(ds.matrix, device, table=table)
+        actual = {}
+        for kernel in SELECTABLE:
+            try:
+                actual[kernel] = create(
+                    kernel, ds.matrix, device=device
+                ).cost().time_seconds
+            except FormatNotApplicableError:
+                continue
+        truth = min(actual, key=lambda k: actual[k])
+        # Regret: chosen kernel's actual time over the true best.
+        regret = actual.get(choice.kernel, float("inf")) / actual[truth]
+        agreements += choice.kernel == truth
+        rows.append([name, choice.kernel, truth, regret])
+    table_text = ascii_table(
+        ["dataset", "model's choice", "actual best", "regret (x)"],
+        rows,
+        title="Model-driven kernel selection (paper 5): choice vs truth",
+    )
+    emit("ablation_selector", table_text)
+
+    ds = load_dataset("youtube", GRAPH_SCALE)
+    device = dataset_device("youtube", GRAPH_SCALE)
+    benchmark.pedantic(
+        select_kernel, args=(ds.matrix, device), rounds=1, iterations=1
+    )
+
+    # The selector may miss a photo finish, but never by much.
+    assert all(row[3] < 1.5 for row in rows)
+    assert agreements >= len(CASES) - 1

@@ -1,0 +1,24 @@
+"""Figure 3: PageRank per-iteration performance and bandwidth.
+
+Expected shape: the same ordering as Figure 2, since the SpMV dominates
+each PageRank iteration (the vector kernels add a few percent).
+"""
+
+from harness import GRAPH_SCALE, emit, mining_tables, run_mining
+
+DATASETS = ["flickr", "livejournal", "wikipedia", "youtube"]
+
+
+def test_fig3_pagerank(benchmark):
+    _time, gflops, bandwidth = mining_tables(
+        "pagerank", "Figure 3 - PageRank", DATASETS, GRAPH_SCALE
+    )
+    emit("fig3_pagerank", gflops + "\n\n" + bandwidth)
+
+    def per_iteration_gflops():
+        return run_mining(
+            "pagerank", "tile-composite", "flickr", GRAPH_SCALE
+        ).gflops
+
+    value = benchmark(per_iteration_gflops)
+    assert value > 0

@@ -1,0 +1,87 @@
+"""Figure 5: parameter auto-tuning and performance-model validation.
+
+Three panels over the five power-law matrices:
+
+(a) number of tiles — auto-tuned (Algorithm 1) vs exhaustive search;
+(b) kernel GFLOPS under the auto-tuned parameters vs the exhaustive
+    optimum (paper: within 3%);
+(c) model-predicted vs "measured" (simulated-kernel) GFLOPS under the
+    auto-tuned parameters (paper: within ~20%).
+"""
+
+from repro.core.autotune import autotune, exhaustive_search
+from repro.kernels import create
+from repro.plotting import ascii_table
+
+from harness import GRAPH_SCALE, dataset_device, emit, load_dataset
+
+DATASETS = ["webbase", "flickr", "livejournal", "wikipedia", "youtube"]
+
+
+def tune_one(name: str):
+    ds = load_dataset(name, GRAPH_SCALE)
+    device = dataset_device(name, GRAPH_SCALE)
+    tuned = autotune(ds.matrix, device)
+    best = exhaustive_search(ds.matrix, device, max_candidates=10)
+    k_auto = create(
+        "tile-composite", ds.matrix, device=device,
+        **tuned.as_build_kwargs(),
+    )
+    k_best = create(
+        "tile-composite", ds.matrix, device=device,
+        **best.as_build_kwargs(),
+    )
+    measured = k_auto.cost()
+    predicted_gflops = (
+        2 * ds.matrix.nnz / tuned.predicted_seconds / 1e9
+        if tuned.predicted_seconds > 0 else float("nan")
+    )
+    return {
+        "auto_tiles": tuned.n_tiles,
+        "best_tiles": best.n_tiles,
+        "auto_gflops": measured.gflops,
+        "best_gflops": k_best.cost().gflops,
+        "predicted_gflops": predicted_gflops,
+    }
+
+
+def test_fig5_autotune(benchmark):
+    results = {name: tune_one(name) for name in DATASETS}
+
+    tiles = ascii_table(
+        ["dataset", "auto-tuned tiles", "exhaustive tiles"],
+        [[n, r["auto_tiles"], r["best_tiles"]]
+         for n, r in results.items()],
+        title="Figure 5(a): number of tiles, auto vs exhaustive",
+    )
+    perf = ascii_table(
+        ["dataset", "auto GFLOPS", "exhaustive GFLOPS", "auto/exhaustive"],
+        [[n, r["auto_gflops"], r["best_gflops"],
+          r["auto_gflops"] / r["best_gflops"]]
+         for n, r in results.items()],
+        title="Figure 5(b): performance, auto vs exhaustive "
+        "(paper: within 3%)",
+    )
+    model = ascii_table(
+        ["dataset", "measured GFLOPS", "predicted GFLOPS",
+         "prediction error"],
+        [[n, r["auto_gflops"], r["predicted_gflops"],
+          abs(r["predicted_gflops"] - r["auto_gflops"])
+          / r["auto_gflops"]]
+         for n, r in results.items()],
+        title="Figure 5(c): predicted vs measured "
+        "(paper: within ~20%)",
+    )
+    emit("fig5_autotune", "\n\n".join([tiles, perf, model]))
+
+    ds = load_dataset("youtube", GRAPH_SCALE)
+    device = dataset_device("youtube", GRAPH_SCALE)
+    benchmark.pedantic(
+        autotune, args=(ds.matrix, device), rounds=1, iterations=1
+    )
+
+    for name, r in results.items():
+        assert abs(r["auto_tiles"] - r["best_tiles"]) <= 3, name
+        assert r["auto_gflops"] >= 0.90 * r["best_gflops"], name
+        error = abs(r["predicted_gflops"] - r["auto_gflops"])
+        assert error / r["auto_gflops"] < 0.40, name

@@ -1,0 +1,29 @@
+"""Figure 8: HITS and RWR per-iteration performance and bandwidth.
+
+Expected shape: same ordering as PageRank (Figure 3); TILE-COO and
+TILE-Composite lead on the three large skewed graphs and the four GPU
+kernels are near parity on Youtube.
+"""
+
+from harness import emit, mining_tables, run_mining
+
+SCALE = 40.0
+DATASETS = ["flickr", "livejournal", "wikipedia", "youtube"]
+
+
+def test_fig8_hits_rwr(benchmark):
+    _t, hits_gflops, hits_bw = mining_tables(
+        "hits", "Figure 8(a,b) - HITS", DATASETS, SCALE
+    )
+    _t, rwr_gflops, rwr_bw = mining_tables(
+        "rwr", "Figure 8(c,d) - RWR", DATASETS, SCALE
+    )
+    emit(
+        "fig8_hits_rwr",
+        "\n\n".join([hits_gflops, hits_bw, rwr_gflops, rwr_bw]),
+    )
+
+    value = benchmark(
+        lambda: run_mining("hits", "tile-composite", "flickr", SCALE).gflops
+    )
+    assert value > 0

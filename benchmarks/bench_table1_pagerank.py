@@ -1,0 +1,38 @@
+"""Table 1: total PageRank running time per kernel.
+
+Expected shape (paper 4.2): TILE-COO and TILE-COMPOSITE ~2x faster than
+COO/HYB on Flickr/LiveJournal/Wikipedia, marginal gains on Youtube; all
+GPU kernels 18-32x faster than the CPU implementation.
+"""
+
+from harness import GRAPH_SCALE, emit, mining_tables, run_mining
+
+DATASETS = ["flickr", "livejournal", "wikipedia", "youtube"]
+
+
+def test_table1_pagerank(benchmark):
+    time_table, _gflops, _bw = mining_tables(
+        "pagerank", "Table 1 - PageRank", DATASETS, GRAPH_SCALE
+    )
+    emit("table1_pagerank", time_table)
+
+    result = run_mining("pagerank", "tile-composite", "flickr", GRAPH_SCALE)
+    benchmark.pedantic(
+        lambda: run_mining.__wrapped__(
+            "pagerank", "tile-composite", "youtube", GRAPH_SCALE
+        ),
+        rounds=1, iterations=1,
+    )
+
+    # GPU vs CPU band (paper: 18-32x).
+    for name in DATASETS:
+        cpu = run_mining("pagerank", "cpu-csr", name, GRAPH_SCALE)
+        tile = run_mining("pagerank", "tile-composite", name, GRAPH_SCALE)
+        speedup = cpu.seconds / tile.seconds
+        assert speedup > 5, f"GPU speedup collapsed on {name}: {speedup:.1f}x"
+    # Tile kernels beat COO/HYB on the three skewed graphs.
+    for name in ("flickr", "livejournal", "wikipedia"):
+        hyb = run_mining("pagerank", "hyb", name, GRAPH_SCALE)
+        tile = run_mining("pagerank", "tile-composite", name, GRAPH_SCALE)
+        assert tile.seconds < hyb.seconds
+    assert result.converged

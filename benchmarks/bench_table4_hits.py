@@ -1,0 +1,33 @@
+"""Table 4: total HITS running time per kernel.
+
+Expected shape (paper Appendix F): 17-29x GPU-over-CPU; TILE kernels
+beat COO/HYB on every dataset — including Youtube, because the combined
+``2|V| x 2|V|`` HITS matrix is larger and sparser, which favours the
+tiling optimisations.
+"""
+
+from harness import emit, mining_tables, run_mining
+
+#: HITS doubles the matrix, so run one scale step smaller than Table 1.
+SCALE = 40.0
+DATASETS = ["flickr", "livejournal", "wikipedia", "youtube"]
+
+
+def test_table4_hits(benchmark):
+    time_table, _gflops, _bw = mining_tables(
+        "hits", "Table 4 - HITS", DATASETS, SCALE
+    )
+    emit("table4_hits", time_table)
+
+    def rerun():
+        return run_mining.__wrapped__("hits", "tile-composite",
+                                      "youtube", SCALE)
+
+    benchmark.pedantic(rerun, rounds=1, iterations=1)
+
+    for name in DATASETS:
+        cpu = run_mining("hits", "cpu-csr", name, SCALE)
+        tile = run_mining("hits", "tile-composite", name, SCALE)
+        hyb = run_mining("hits", "hyb", name, SCALE)
+        assert cpu.seconds / tile.seconds > 5
+        assert tile.seconds < hyb.seconds

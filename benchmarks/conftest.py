@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration: make the shared harness importable
+and keep the printed tables visible."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,71 @@
+"""Format zoo: how each sparse format stores (and fails to store) the
+same matrices.
+
+Usage::
+
+    python examples/format_zoo.py
+
+Converts a power-law graph and a banded mesh matrix into every format of
+the paper's comparison and prints storage footprints, padding overheads
+and the applicability failures the paper reports (DIA on non-banded
+matrices, ELL and PKT on power-law graphs).
+"""
+
+import numpy as np
+
+from repro.errors import FormatNotApplicableError
+from repro.formats import to_format
+from repro.graphs import stats
+from repro.graphs.chung_lu import chung_lu_graph
+from repro.graphs.synthetic import banded_matrix
+from repro.plotting import ascii_table
+
+FORMATS = ["coo", "csr", "csc", "ell", "hyb", "dia", "pkt"]
+
+
+def describe(name: str, matrix) -> None:
+    summary = stats.summarize(matrix)
+    print(f"\n{name}: {matrix.shape[0]:,} x {matrix.shape[1]:,}, "
+          f"{matrix.nnz:,} non-zeros, "
+          f"power-law: {summary.power_law} "
+          f"(column Gini {summary.col_gini:.2f}, "
+          f"top-10% columns hold {summary.col_top10_share:.0%})")
+    x = np.random.default_rng(1).random(matrix.n_cols)
+    reference = matrix.spmv(x)
+    rows = []
+    for fmt in FORMATS:
+        try:
+            converted = to_format(matrix, fmt)
+        except FormatNotApplicableError as exc:
+            rows.append([fmt, "not applicable", "-", str(exc)[:48]])
+            continue
+        assert np.allclose(converted.spmv(x), reference)
+        overhead = converted.nbytes / (12 * matrix.nnz)
+        rows.append([
+            fmt, f"{converted.nbytes / 1e6:.2f} MB",
+            f"{overhead:.2f}x", "ok",
+        ])
+    print(ascii_table(
+        ["format", "storage", "vs raw COO", "status"],
+        rows,
+    ))
+
+
+def main() -> None:
+    describe(
+        "Power-law graph (Chung-Lu, gamma=2.1)",
+        chung_lu_graph(30_000, 300_000, exponent=2.1, seed=1),
+    )
+    describe(
+        "Banded FEM-style mesh",
+        banded_matrix(20_000, 80, 40, seed=2),
+    )
+    print(
+        "\nThe failures above are the ones the paper reports: DIA only"
+        "\nholds banded matrices, pure ELL explodes on skewed rows, and"
+        "\nPKT's clustering cannot balance power-law packets (4.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

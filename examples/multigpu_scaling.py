@@ -1,0 +1,84 @@
+"""Out-of-core SpMV on a simulated multi-GPU cluster.
+
+Usage::
+
+    python examples/multigpu_scaling.py
+
+Partitions a web-graph analogue over 1-10 GPUs with the paper's bitonic
+row partitioning and prints the scaling curve of distributed PageRank —
+a miniature Figure 4 — including the out-of-memory region where the
+graph simply does not fit on fewer GPUs.
+"""
+
+from repro.errors import DeviceMemoryError
+from repro.gpu.spec import DeviceSpec
+from repro.graphs import datasets
+from repro.multigpu import (
+    ClusterSpec,
+    bitonic_partition,
+    partition_balance,
+    simulate_spmv,
+)
+from repro.plotting import ascii_table
+
+
+def main() -> None:
+    dataset = datasets.load("sk-2005")  # 400x-scaled web crawl
+    matrix = dataset.matrix
+    print(f"Web graph: {matrix.shape[0]:,} pages, {matrix.nnz:,} links "
+          f"(analogue of sk-2005: {dataset.paper_shape[2]:,} links)\n")
+
+    # Device matched to the scale; the per-GPU memory limit is scaled so
+    # the graph needs at least 3 GPUs, as in the paper.
+    base = DeviceSpec.tesla_c1060()
+    device = base.scaled(
+        texture_cache_bytes=256 * 1024 // 20,
+        kernel_launch_seconds=base.kernel_launch_seconds / 400,
+        global_latency_cycles=max(20.0, base.global_latency_cycles / 400),
+    )
+    memory_limit = int(24.5e6)
+
+    # How balanced is the bitonic deal?
+    lengths = matrix.row_lengths()
+    balance = partition_balance(
+        lengths, bitonic_partition(lengths, 8), 8
+    )
+    print(f"Bitonic partition over 8 GPUs: row imbalance "
+          f"{balance.row_imbalance:.3f}, nnz imbalance "
+          f"{balance.nnz_imbalance:.3f} (1.0 = perfect)\n")
+
+    rows = []
+    baseline = None
+    for n_gpus in (1, 2, 3, 4, 6, 8, 10):
+        cluster = ClusterSpec(
+            n_gpus=n_gpus, device=device, gpu_memory_bytes=memory_limit
+        )
+        try:
+            report = simulate_spmv(
+                matrix, cluster, kernel="tile-composite"
+            )
+        except DeviceMemoryError:
+            rows.append([n_gpus, "out of memory", "-", "-", "-"])
+            continue
+        if baseline is None:
+            baseline = report
+        rows.append([
+            n_gpus,
+            f"{report.gflops:.2f}",
+            f"{report.parallel_efficiency(baseline):.2f}",
+            f"{report.compute_seconds * 1e6:.1f}",
+            f"{report.comm_seconds * 1e6:.1f}",
+        ])
+    print(ascii_table(
+        ["GPUs", "GFLOPS", "parallel efficiency",
+         "compute (us/iter)", "allgather (us/iter)"],
+        rows,
+        title="Distributed SpMV with the TILE-COMPOSITE kernel "
+        "(Figure 4 analogue)",
+    ))
+    print("\nThe curve flattens as the allgather broadcast begins to "
+          "dominate — the effect the paper reports past ~8 GPUs.")
+
+
+if __name__ == "__main__":
+    main()

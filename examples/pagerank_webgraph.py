@@ -1,0 +1,72 @@
+"""Graph mining: PageRank, HITS and RWR on a web-graph analogue.
+
+Usage::
+
+    python examples/pagerank_webgraph.py
+
+Runs the three mining algorithms of the paper's Section 4.2 on a scaled
+Wikipedia analogue, printing converged results and the simulated total
+running time per kernel — a miniature of Tables 1/4/5.
+"""
+
+import numpy as np
+
+from repro.graphs import datasets
+from repro.mining import hits, pagerank, random_walk_with_restart
+from repro.plotting import ascii_table
+
+
+def main() -> None:
+    dataset = datasets.load("wikipedia", scale=60)
+    matrix = dataset.matrix
+    device = datasets.matched_device(dataset)
+    print(f"Graph: {matrix.shape[0]:,} pages, {matrix.nnz:,} links\n")
+
+    # ------------------------------------------------------------------
+    # PageRank (Equation 6): p = c W^T p + (1-c) p0
+    # ------------------------------------------------------------------
+    rows = []
+    top_pages = None
+    for kernel in ["cpu-csr", "coo", "hyb", "tile-composite"]:
+        result = pagerank(
+            matrix, kernel=kernel, device=device, damping=0.85, tol=1e-8
+        )
+        rows.append([kernel, result.iterations,
+                     result.seconds * 1e3, result.gflops])
+        top_pages = np.argsort(result.vector)[::-1][:5]
+    print(ascii_table(
+        ["kernel", "iterations", "total time (ms)", "GFLOPS"],
+        rows, title="PageRank (Table 1 analogue)", precision=3,
+    ))
+    print(f"Top-5 pages by rank: {top_pages.tolist()}\n")
+
+    # ------------------------------------------------------------------
+    # HITS (Equation 8): one SpMV on the combined 2|V| x 2|V| matrix
+    # ------------------------------------------------------------------
+    result = hits(matrix, kernel="tile-composite", device=device,
+                  tol=1e-8)
+    n = matrix.n_rows
+    authorities = result.vector[:n]
+    hubs = result.vector[n:]
+    print(f"HITS converged in {result.iterations} iterations "
+          f"({result.seconds * 1e3:.2f} ms simulated)")
+    print(f"  top authority: node {int(np.argmax(authorities))}, "
+          f"top hub: node {int(np.argmax(hubs))}\n")
+
+    # ------------------------------------------------------------------
+    # Random Walk with Restart (Equation 9), c = 0.9
+    # ------------------------------------------------------------------
+    result = random_walk_with_restart(
+        matrix, kernel="tile-composite", device=device,
+        restart=0.9, n_queries=3, tol=1e-8,
+    )
+    query = int(result.extra["queries"][-1])
+    relevant = np.argsort(result.vector)[::-1][:5]
+    print(f"RWR from node {query}: most relevant nodes "
+          f"{relevant.tolist()}")
+    print(f"  mean time over {len(result.extra['queries'])} queries: "
+          f"{result.seconds * 1e3:.2f} ms simulated")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation`` / ``python setup.py develop``
+on toolchains that cannot build PEP 517 wheels offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, scriptable entry points over the library's main flows:
+
+``datasets``
+    List the registered dataset analogues with their paper statistics.
+``spmv``
+    Run one (or all) SpMV kernels on a named dataset and print the
+    simulated GFLOPS / GB/s profile.
+``pagerank``
+    Run PageRank on a named dataset with a chosen kernel.
+``autotune``
+    Tune the tile-composite parameters for a dataset and report the
+    chosen tile count / workload sizes and the model's prediction.
+``info``
+    Structural fingerprint of a dataset (degree skew, power-law fit).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import FormatNotApplicableError, ReproError
+from repro.plotting import ascii_table
+from repro.version import __version__
+
+__all__ = ["build_parser", "main"]
+
+_DEFAULT_KERNELS = [
+    "cpu-csr", "csr", "csr-vector", "bsk-bdw", "coo", "ell", "hyb",
+    "dia", "pkt", "tile-coo", "tile-composite",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast SpMV on (simulated) GPUs for graph mining — "
+        "VLDB 2011 reproduction",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the registered datasets")
+
+    def add_dataset_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("dataset", help="dataset name (see `datasets`)")
+        p.add_argument(
+            "--scale", type=float, default=None,
+            help="down-scale factor (default: the dataset's registry "
+            "default)",
+        )
+        p.add_argument(
+            "--seed", type=int, default=7, help="generator seed"
+        )
+
+    spmv = sub.add_parser(
+        "spmv", help="simulate SpMV kernels on a dataset"
+    )
+    add_dataset_args(spmv)
+    spmv.add_argument(
+        "--kernel", action="append", dest="kernels", default=None,
+        help="kernel to run (repeatable; default: all)",
+    )
+    spmv.add_argument(
+        "--tuned", action="store_true",
+        help="auto-tune the tile-composite kernel",
+    )
+
+    pagerank = sub.add_parser(
+        "pagerank", help="run PageRank on a dataset"
+    )
+    add_dataset_args(pagerank)
+    pagerank.add_argument("--kernel", default="tile-composite")
+    pagerank.add_argument("--damping", type=float, default=0.85)
+    pagerank.add_argument("--tol", type=float, default=1e-8)
+    pagerank.add_argument(
+        "--top", type=int, default=5, help="print the top-k nodes"
+    )
+
+    autotune = sub.add_parser(
+        "autotune", help="tune tile-composite parameters for a dataset"
+    )
+    add_dataset_args(autotune)
+
+    info = sub.add_parser(
+        "info", help="structural fingerprint of a dataset"
+    )
+    add_dataset_args(info)
+    return parser
+
+
+def _load(args):
+    from repro.graphs import datasets
+
+    ds = datasets.load(args.dataset, scale=args.scale, seed=args.seed)
+    device = datasets.matched_device(ds)
+    return ds, device
+
+
+def _cmd_datasets(_args) -> int:
+    from repro.graphs import datasets
+
+    rows = []
+    for name in datasets.list_datasets():
+        ds_small = datasets.load(name, scale=1000)
+        rows.append([
+            name, ds_small.kind, ds_small.power_law,
+            f"{ds_small.paper_shape[0]:,}",
+            f"{ds_small.paper_shape[2]:,}",
+        ])
+    print(ascii_table(
+        ["name", "kind", "power-law", "paper rows", "paper nnz"],
+        rows, title="Registered dataset analogues",
+    ))
+    return 0
+
+
+def _cmd_spmv(args) -> int:
+    ds, device = _load(args)
+    kernels_to_run = args.kernels or _DEFAULT_KERNELS
+    from repro import kernels as kernel_mod
+
+    x = np.random.default_rng(0).random(ds.matrix.n_cols)
+    rows = []
+    for name in kernels_to_run:
+        options = {}
+        if name == "tile-composite" and args.tuned:
+            options["tuned"] = True
+        try:
+            kernel = kernel_mod.create(
+                name, ds.matrix, device=device, **options
+            )
+        except FormatNotApplicableError as exc:
+            rows.append([name, "-", "-", "-", f"n/a: {exc}"[:46]])
+            continue
+        kernel.spmv(x)  # exercise the functional path
+        cost = kernel.cost()
+        rows.append([
+            name, cost.gflops, cost.bandwidth_gbs,
+            cost.time_seconds * 1e3, "ok",
+        ])
+    print(ascii_table(
+        ["kernel", "GFLOPS", "GB/s", "time (ms)", "status"],
+        rows,
+        title=f"SpMV on {ds.name} (shape {ds.matrix.shape}, "
+        f"nnz {ds.nnz:,}) — simulated {device.name}",
+        precision=3,
+    ))
+    return 0
+
+
+def _cmd_pagerank(args) -> int:
+    from repro.mining import pagerank
+
+    ds, device = _load(args)
+    result = pagerank(
+        ds.matrix, kernel=args.kernel, device=device,
+        damping=args.damping, tol=args.tol,
+    )
+    print(f"PageRank on {ds.name} with {result.kernel_name}: "
+          f"{result.iterations} iterations, converged={result.converged}")
+    print(f"simulated total time {result.seconds * 1e3:.3f} ms "
+          f"({result.gflops:.2f} GFLOPS per iteration)")
+    top = np.argsort(result.vector)[::-1][: args.top]
+    rows = [[int(node), result.vector[node]] for node in top]
+    print(ascii_table(["node", "rank"], rows, precision=6))
+    return 0
+
+
+def _cmd_autotune(args) -> int:
+    from repro.core.autotune import autotune
+
+    ds, device = _load(args)
+    result = autotune(ds.matrix, device)
+    print(f"Auto-tuned tile-composite for {ds.name}:")
+    print(f"  tiles: {result.n_tiles} "
+          f"(tile width {device.tile_width_columns} columns)")
+    shown = ", ".join(str(s) for s in result.workload_sizes[:10])
+    suffix = ", ..." if len(result.workload_sizes) > 10 else ""
+    print(f"  workload sizes: [{shown}{suffix}]")
+    print(f"  remainder workload size: {result.remainder_workload_size}")
+    print(f"  predicted SpMV time: "
+          f"{result.predicted_seconds * 1e6:.1f} us")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.graphs import stats
+
+    ds, _device = _load(args)
+    summary = stats.summarize(ds.matrix)
+    rows = [
+        ["rows x cols", f"{summary.n_rows:,} x {summary.n_cols:,}"],
+        ["non-zeros", f"{summary.nnz:,}"],
+        ["mean row length", summary.mean_row_length],
+        ["max row length", summary.max_row_length],
+        ["mean column length", summary.mean_col_length],
+        ["max column length", summary.max_col_length],
+        ["column-length Gini", summary.col_gini],
+        ["top-10% column share", summary.col_top10_share],
+        ["column power-law exponent", summary.col_exponent],
+        ["power-law verdict", summary.power_law],
+    ]
+    print(ascii_table(["property", "value"], rows,
+                      title=f"{ds.name} (scale {ds.scale:g})"))
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "spmv": _cmd_spmv,
+    "pagerank": _cmd_pagerank,
+    "autotune": _cmd_autotune,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

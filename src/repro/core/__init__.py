@@ -1,0 +1,82 @@
+"""The paper's contribution: tiled, composite-storage SpMV.
+
+Pipeline (paper §3.1):
+
+1. :mod:`reorder` — sort columns by decreasing length (counting sort;
+   cheap because of the power-law tail).
+2. :mod:`tiling` — slice the dense head of the reordered matrix into
+   64K-column tiles whose ``x`` segments fit the texture cache
+   (Solution 1 + 2); the sparse tail becomes a remainder sub-matrix.
+3. :mod:`workload` — inside each tile, rank rows by length and pack them
+   into balanced rectangular workloads; wide rectangles are stored
+   row-major (CSR-vector execution), tall ones column-major (ELL
+   execution) (Solution 3, Figure 1(d)).
+4. :mod:`camping` — pad workload boundaries so concurrent warps spread
+   over all 8 memory partitions.
+5. :mod:`composite` / :mod:`tile_coo` — the assembled matrix
+   representations behind the TILE-COMPOSITE and TILE-COO kernels.
+6. :mod:`lookup`, :mod:`perf_model`, :mod:`autotune` — the offline
+   (w, h) → throughput table, the online cost model (Equations 1–5) and
+   the parameter auto-tuner (Algorithms 1–3, Appendix E).
+"""
+
+from repro.core.autotune import (
+    TuningResult,
+    autotune,
+    exhaustive_search,
+    partition_tile,
+)
+from repro.core.camping import assign_workload_offsets
+from repro.core.composite import (
+    CompositeTile,
+    TileCompositeMatrix,
+    build_composite_tile,
+    build_tile_composite,
+)
+from repro.core.lookup import LookupTable
+from repro.core.perf_model import predict_tile_seconds
+from repro.core.preprocess import PreprocessingCost, transform_cost
+from repro.core.selector import (
+    KernelChoice,
+    predict_kernel_seconds,
+    select_kernel,
+)
+from repro.core.reorder import counting_sort_desc, order_by_length
+from repro.core.tile_coo import TileCOOMatrix, build_tile_coo
+from repro.core.tiling import TilePlan, plan_tiles, slice_into_tiles
+from repro.core.workload import (
+    WorkloadSet,
+    default_workload_size,
+    pack_workloads,
+    workload_warp_instructions,
+)
+
+__all__ = [
+    "CompositeTile",
+    "KernelChoice",
+    "LookupTable",
+    "PreprocessingCost",
+    "TileCOOMatrix",
+    "TileCompositeMatrix",
+    "TilePlan",
+    "TuningResult",
+    "WorkloadSet",
+    "assign_workload_offsets",
+    "autotune",
+    "build_composite_tile",
+    "build_tile_composite",
+    "build_tile_coo",
+    "counting_sort_desc",
+    "default_workload_size",
+    "exhaustive_search",
+    "order_by_length",
+    "pack_workloads",
+    "partition_tile",
+    "plan_tiles",
+    "predict_kernel_seconds",
+    "predict_tile_seconds",
+    "select_kernel",
+    "transform_cost",
+    "slice_into_tiles",
+    "workload_warp_instructions",
+]

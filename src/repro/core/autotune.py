@@ -1,0 +1,240 @@
+"""Parameter auto-tuning: Algorithms 1 and 2 of Appendix E.
+
+Two parameters govern the tile-composite kernel:
+
+* the **number of tiles** — chosen by the greedy rule "a new tile should
+  not be added if its first column has only a single element"
+  (Algorithm 1, implemented in :func:`repro.core.tiling.plan_tiles`);
+* the **workload size of each tile** — searched between the tile's
+  longest row (the lower bound: the longest row cannot be split) and
+  ``tile_nnz / max_active_warps`` (the upper bound: fewer warps would
+  leave the device idle), stepping by the longest row (each workload's
+  first rectangle must be a whole multiple of it), scoring candidates
+  with the performance model (Algorithm 2).
+
+:func:`exhaustive_search` replaces the model with the actual simulated
+kernel — the ground truth Figure 5 compares the auto-tuner against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.lookup import LookupTable
+from repro.core.perf_model import predict_tile_seconds
+from repro.core.tiling import plan_tiles, slice_into_tiles
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix
+from repro.gpu.spec import DeviceSpec
+
+__all__ = [
+    "TuningResult",
+    "autotune",
+    "exhaustive_search",
+    "partition_tile",
+    "workload_candidates",
+]
+
+
+@dataclass
+class TuningResult:
+    """Chosen parameters for the tile-composite kernel on one matrix."""
+
+    n_tiles: int
+    workload_sizes: list[int]
+    remainder_workload_size: int | None
+    predicted_seconds: float
+    #: Per-tile predicted seconds (dense tiles then remainder).
+    tile_seconds: list[float] = field(default_factory=list)
+
+    def as_build_kwargs(self) -> dict:
+        """Keyword arguments for ``build_tile_composite``."""
+        return {
+            "n_tiles": self.n_tiles,
+            "workload_sizes": list(self.workload_sizes),
+            "remainder_workload_size": self.remainder_workload_size,
+        }
+
+
+def workload_candidates(
+    sorted_row_lengths: np.ndarray,
+    device: DeviceSpec,
+    *,
+    max_candidates: int = 64,
+) -> list[int]:
+    """Algorithm 2's search space: multiples of the longest row between
+    the lower and upper bounds, thinned to ``max_candidates``."""
+    lengths = np.asarray(sorted_row_lengths)
+    if lengths.size == 0:
+        return [1]
+    first = int(lengths[0])
+    if first <= 0:
+        return [1]
+    upper = max(first, int(lengths.sum()) // device.max_active_warps)
+    n_steps = max(1, upper // first)
+    stride = max(1, -(-n_steps // max_candidates))
+    candidates = [first * k for k in range(1, n_steps + 1, stride)]
+    if candidates[-1] != first * n_steps:
+        candidates.append(first * n_steps)
+    return candidates
+
+
+def partition_tile(
+    sorted_row_lengths: np.ndarray,
+    device: DeviceSpec,
+    table: LookupTable,
+    *,
+    cached: bool = True,
+    max_candidates: int = 64,
+) -> tuple[int, float]:
+    """Algorithm 2: best workload size for one tile and its predicted
+    time."""
+    lengths = np.asarray(sorted_row_lengths)
+    if lengths.size == 0:
+        return 1, 0.0
+    best_size, best_time = 0, np.inf
+    for candidate in workload_candidates(
+        lengths, device, max_candidates=max_candidates
+    ):
+        time = predict_tile_seconds(
+            lengths, candidate, table, device, cached=cached
+        )
+        if time < best_time:
+            best_size, best_time = candidate, time
+    return best_size, best_time
+
+
+def _tile_sorted_lengths(tile_coo) -> np.ndarray:
+    lengths = tile_coo.row_lengths()
+    lengths = lengths[lengths > 0]
+    return np.sort(lengths)[::-1]
+
+
+def autotune(
+    matrix: SparseMatrix,
+    device: DeviceSpec,
+    *,
+    table: LookupTable | None = None,
+    tile_width: int | None = None,
+    max_candidates: int = 64,
+) -> TuningResult:
+    """Algorithm 1: tune the tile count and every tile's workload size."""
+    table = table or LookupTable(device)
+    coo = matrix.to_coo()
+    width = tile_width or device.tile_width_columns
+    plan = plan_tiles(coo.col_lengths(), tile_width=width)
+    tile_coos, remainder_coo = slice_into_tiles(coo, plan)
+    sizes: list[int] = []
+    tile_seconds: list[float] = []
+    for tile_coo in tile_coos:
+        lengths = _tile_sorted_lengths(tile_coo)
+        size, seconds = partition_tile(
+            lengths, device, table, cached=True,
+            max_candidates=max_candidates,
+        )
+        sizes.append(size)
+        tile_seconds.append(seconds)
+    remainder_size: int | None = None
+    if remainder_coo.nnz:
+        lengths = _tile_sorted_lengths(remainder_coo)
+        remainder_size, seconds = partition_tile(
+            lengths, device, table, cached=False,
+            max_candidates=max_candidates,
+        )
+        tile_seconds.append(seconds)
+    return TuningResult(
+        n_tiles=plan.n_tiles,
+        workload_sizes=sizes,
+        remainder_workload_size=remainder_size,
+        predicted_seconds=float(sum(tile_seconds)),
+        tile_seconds=tile_seconds,
+    )
+
+
+def exhaustive_search(
+    matrix: SparseMatrix,
+    device: DeviceSpec,
+    *,
+    tile_width: int | None = None,
+    max_tiles: int | None = None,
+    max_candidates: int = 16,
+) -> TuningResult:
+    """Ground-truth search over tile counts and workload sizes.
+
+    Every candidate is evaluated by *costing the actual simulated
+    kernel* on the actually-built tile (per-tile costs are additive, so
+    per-tile independent search is globally exhaustive).  This is the
+    blue "exhaustive" series of Figure 5.
+    """
+    # Imported here: the kernel module depends on this package.
+    from repro.kernels.tile_composite import (
+        composite_tile_cost,
+        tiles_overhead_cost,
+    )
+    from repro.core.composite import build_composite_tile
+
+    coo = matrix.to_coo()
+    width = tile_width or device.tile_width_columns
+    col_lengths = coo.col_lengths()
+    full_plan = plan_tiles(col_lengths, tile_width=width, n_tiles=None)
+    upper = max_tiles
+    if upper is None:
+        # Search a window around (and above) the greedy rule's answer.
+        hard_max = -(-coo.n_cols // width)
+        upper = min(hard_max, full_plan.n_tiles + 2)
+    best: TuningResult | None = None
+    for n_tiles in range(0, upper + 1):
+        plan = plan_tiles(col_lengths, tile_width=width, n_tiles=n_tiles)
+        tile_coos, remainder_coo = slice_into_tiles(coo, plan)
+        total = 0.0
+        sizes: list[int] = []
+        per_tile: list[float] = []
+        for tile_coo in tile_coos:
+            lengths = _tile_sorted_lengths(tile_coo)
+            best_size, best_time = 0, np.inf
+            for candidate in workload_candidates(
+                lengths, device, max_candidates=max_candidates
+            ):
+                tile = build_composite_tile(
+                    tile_coo, device, workload_size=candidate, cached=True
+                )
+                cost = composite_tile_cost(tile, device)
+                if cost.time_seconds < best_time:
+                    best_size, best_time = candidate, cost.time_seconds
+            sizes.append(best_size)
+            per_tile.append(best_time)
+            total += best_time
+        remainder_size: int | None = None
+        if remainder_coo.nnz:
+            lengths = _tile_sorted_lengths(remainder_coo)
+            best_size, best_time = 0, np.inf
+            for candidate in workload_candidates(
+                lengths, device, max_candidates=max_candidates
+            ):
+                tile = build_composite_tile(
+                    remainder_coo, device, workload_size=candidate,
+                    cached=False,
+                )
+                cost = composite_tile_cost(tile, device)
+                if cost.time_seconds < best_time:
+                    best_size, best_time = candidate, cost.time_seconds
+            remainder_size = best_size
+            per_tile.append(best_time)
+            total += best_time
+        total += tiles_overhead_cost(
+            n_tiles + (1 if remainder_coo.nnz else 0), coo.n_rows, device
+        ).time_seconds
+        candidate_result = TuningResult(
+            n_tiles=n_tiles,
+            workload_sizes=sizes,
+            remainder_workload_size=remainder_size,
+            predicted_seconds=total,
+            tile_seconds=per_tile,
+        )
+        if best is None or total < best.predicted_seconds:
+            best = candidate_result
+    if best is None:  # pragma: no cover - defensive
+        raise ValidationError("exhaustive search found no candidates")
+    return best

@@ -1,0 +1,54 @@
+"""Partition-camping avoidance (§3.1 "Elimination of Partition Camping").
+
+Global memory is divided into 8 partitions of 256 bytes; data in strides
+of 2048 bytes maps to the same partition.  If every workload's padded
+storage is a multiple of 512 floats, all workloads *start* in the same
+partition and every active warp queues on it.  The fix from the paper:
+append 256 bytes to any workload whose size is a multiple of 512 floats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gpu.spec import FLOAT_BYTES, DeviceSpec
+
+__all__ = ["assign_workload_offsets"]
+
+
+def assign_workload_offsets(
+    padded_entries: np.ndarray,
+    device: DeviceSpec,
+    *,
+    avoid_camping: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lay workloads out in global memory, applying the camping rule.
+
+    Parameters
+    ----------
+    padded_entries:
+        Padded element count (4-byte floats) of each workload's value
+        array; the index array mirrors the layout, so modelling one
+        array captures the access pattern.
+    avoid_camping:
+        Apply the paper's 256-byte pad; disable for the ablation bench.
+
+    Returns
+    -------
+    (start_offsets_bytes, sizes_bytes):
+        Byte offset at which each workload starts and its (possibly
+        padded) byte size.
+    """
+    entries = np.asarray(padded_entries, dtype=np.int64)
+    if np.any(entries < 0):
+        raise ValidationError("padded_entries must be non-negative")
+    sizes = entries * FLOAT_BYTES
+    if avoid_camping and sizes.size:
+        stride = device.partition_stride_bytes
+        camped = (sizes % stride == 0) & (sizes > 0)
+        sizes = sizes + camped * device.partition_width_bytes
+    offsets = np.zeros(sizes.size, dtype=np.int64)
+    if sizes.size > 1:
+        np.cumsum(sizes[:-1], out=offsets[1:])
+    return offsets, sizes

@@ -1,0 +1,242 @@
+"""The TILE-COMPOSITE matrix representation (§3.1, Figure 1).
+
+``build_tile_composite`` runs the full transform: column reorder →
+partial tiling → per-tile row ranking → workload packing → camping
+padding.  The sparse remainder is transformed "as one matrix tile into
+the composite storage format" too (its row lengths also follow a power
+law) — it just cannot use the per-tile texture trick, so its kernel
+models uncached ``x`` reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.camping import assign_workload_offsets
+from repro.core.reorder import order_by_length
+from repro.core.tiling import TilePlan, plan_tiles, slice_into_tiles
+from repro.core.workload import (
+    WorkloadSet,
+    default_workload_size,
+    pack_workloads,
+)
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix, check_vector
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.gpu.spec import DeviceSpec
+
+__all__ = [
+    "CompositeTile",
+    "TileCompositeMatrix",
+    "build_composite_tile",
+    "build_tile_composite",
+]
+
+
+@dataclass
+class CompositeTile:
+    """One tile in composite storage.
+
+    ``row_ids`` are the original matrix rows with at least one non-zero
+    in this tile, sorted by decreasing in-tile length; ``csr`` holds
+    those rows (renumbered 0..k-1) over the tile's local column range.
+    """
+
+    #: Original row index of each packed (non-empty) row, length-sorted.
+    row_ids: np.ndarray
+    #: Local CSR: rows renumbered in packed order, columns tile-local.
+    csr: CSRMatrix
+    #: Workload rectangles packed over the sorted rows.
+    workloads: WorkloadSet
+    #: Byte offset of each workload in the tile's global-memory image.
+    start_offsets: np.ndarray
+    #: Whether the tile's ``x`` segment fits the texture cache (dense
+    #: tiles yes, the sparse remainder no).
+    cached: bool
+
+    @property
+    def nnz(self) -> int:
+        return self.csr.nnz
+
+    @property
+    def n_cols(self) -> int:
+        return self.csr.n_cols
+
+    @property
+    def padded_entries(self) -> int:
+        return self.workloads.total_padded
+
+    @property
+    def nbytes(self) -> int:
+        """Stored bytes: padded value + index arrays plus row metadata."""
+        return 8 * self.padded_entries + 4 * self.row_ids.size
+
+    def col_lengths(self) -> np.ndarray:
+        """Access counts of the tile's local ``x`` segment."""
+        return self.csr.to_coo().col_lengths()
+
+
+def build_composite_tile(
+    tile: COOMatrix,
+    device: DeviceSpec,
+    *,
+    workload_size: int | None = None,
+    cached: bool = True,
+    avoid_camping: bool = True,
+) -> CompositeTile:
+    """Rank rows, pack workloads and lay the tile out in memory."""
+    row_lengths = tile.row_lengths()
+    nonempty = np.nonzero(row_lengths)[0]
+    order = order_by_length(row_lengths[nonempty])
+    row_ids = nonempty[order]
+    sorted_lengths = row_lengths[row_ids]
+    csr = CSRMatrix.from_coo(tile).select_rows(row_ids)
+    if workload_size is None:
+        workload_size = default_workload_size(sorted_lengths, device)
+    workloads = pack_workloads(sorted_lengths, workload_size, device)
+    offsets, _sizes = assign_workload_offsets(
+        workloads.padded_entries, device, avoid_camping=avoid_camping
+    )
+    return CompositeTile(
+        row_ids=row_ids,
+        csr=csr,
+        workloads=workloads,
+        start_offsets=offsets,
+        cached=cached,
+    )
+
+
+class TileCompositeMatrix(SparseMatrix):
+    """The paper's full matrix representation.
+
+    ``tiles`` covers the dense head of the column-reordered matrix; the
+    remainder tile covers the sparse tail.  ``spmv`` computes the exact
+    product by accumulating per-tile partial results, mirroring the
+    kernel's combine step.
+    """
+
+    def __init__(
+        self,
+        plan: TilePlan,
+        tiles: list[CompositeTile],
+        remainder: CompositeTile | None,
+        shape: tuple[int, int],
+    ) -> None:
+        self.shape = shape
+        self.plan = plan
+        self.tiles = tiles
+        self.remainder = remainder
+        if len(tiles) != plan.n_tiles:
+            raise ValidationError(
+                f"{len(tiles)} tiles built but plan has {plan.n_tiles}"
+            )
+
+    @property
+    def all_tiles(self) -> list[CompositeTile]:
+        """Dense tiles followed by the remainder tile (if any)."""
+        if self.remainder is None:
+            return list(self.tiles)
+        return [*self.tiles, self.remainder]
+
+    @property
+    def nnz(self) -> int:
+        return sum(t.nnz for t in self.all_tiles)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(t.nbytes for t in self.all_tiles) + 4 * self.plan.n_cols
+
+    @property
+    def padding_ratio(self) -> float:
+        """Padded slots over non-zeros across all tiles."""
+        nnz = self.nnz
+        padded = sum(t.padded_entries for t in self.all_tiles)
+        return padded / nnz if nnz else 0.0
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = check_vector(x, self.n_cols)
+        x_reordered = x[self.plan.col_order]
+        y = np.zeros(self.n_rows, dtype=np.float64)
+        for t, tile in enumerate(self.tiles):
+            start, stop = self.plan.tile_range(t)
+            segment = x_reordered[start:stop]
+            y[tile.row_ids] += tile.csr.spmv(segment)
+        if self.remainder is not None:
+            segment = x_reordered[self.plan.dense_cols :]
+            y[self.remainder.row_ids] += self.remainder.csr.spmv(segment)
+        return y
+
+    def to_coo(self) -> COOMatrix:
+        rows, cols, data = [], [], []
+        for t, tile in enumerate(self.all_tiles):
+            if t < len(self.tiles):
+                start, _stop = self.plan.tile_range(t)
+            else:
+                start = self.plan.dense_cols
+            local = tile.csr.to_coo()
+            rows.append(tile.row_ids[local.rows])
+            cols.append(self.plan.col_order[start + local.cols])
+            data.append(local.data)
+        if not rows:
+            return COOMatrix(
+                np.zeros(0, np.int64), np.zeros(0, np.int64),
+                np.zeros(0), self.shape,
+            )
+        return COOMatrix.from_unsorted(
+            np.concatenate(rows),
+            np.concatenate(cols),
+            np.concatenate(data),
+            self.shape,
+            sum_duplicates=False,
+        )
+
+
+def build_tile_composite(
+    matrix: SparseMatrix,
+    device: DeviceSpec,
+    *,
+    n_tiles: int | None = None,
+    workload_sizes: list[int | None] | None = None,
+    remainder_workload_size: int | None = None,
+    avoid_camping: bool = True,
+    tile_width: int | None = None,
+) -> TileCompositeMatrix:
+    """Run the full TILE-COMPOSITE transform.
+
+    ``n_tiles=None`` applies Algorithm 1's greedy rule; explicit
+    workload sizes (one per tile) override the heuristic default —
+    the auto-tuner passes the model-optimal ones.
+    """
+    coo = matrix.to_coo()
+    width = tile_width or device.tile_width_columns
+    plan = plan_tiles(coo.col_lengths(), tile_width=width, n_tiles=n_tiles)
+    tile_coos, remainder_coo = slice_into_tiles(coo, plan)
+    if workload_sizes is None:
+        workload_sizes = [None] * plan.n_tiles
+    if len(workload_sizes) != plan.n_tiles:
+        raise ValidationError(
+            f"{len(workload_sizes)} workload sizes for {plan.n_tiles} tiles"
+        )
+    tiles = [
+        build_composite_tile(
+            tile_coo,
+            device,
+            workload_size=size,
+            cached=True,
+            avoid_camping=avoid_camping,
+        )
+        for tile_coo, size in zip(tile_coos, workload_sizes)
+    ]
+    remainder = None
+    if remainder_coo.nnz:
+        remainder = build_composite_tile(
+            remainder_coo,
+            device,
+            workload_size=remainder_workload_size,
+            cached=False,
+            avoid_camping=avoid_camping,
+        )
+    return TileCompositeMatrix(plan, tiles, remainder, coo.shape)

@@ -1,0 +1,91 @@
+"""Online performance model: Algorithm 3 / Equations 1–5 (§3.3).
+
+Given one tile's (length-sorted) row lengths and a candidate workload
+size, the model partitions the tile exactly as the kernel would, looks
+every resulting rectangle up in the offline table, groups the warps into
+active-warp iterations and sums per-iteration times:
+
+.. math::
+
+    I = \\lceil W_{total} / W_{active} \\rceil \\qquad (1)\\\\
+    t = \\sum_i t_i \\qquad (2)\\\\
+    t_i = Size(i) / P_i \\qquad (3)\\\\
+    Size(i) = \\sum_{j \\in i} w_j h_j \\qquad (4)\\\\
+    P_i = \\tfrac{1}{|i|} \\sum_{j \\in i} Performance(w_j, h_j) \\qquad (5)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lookup import LookupTable
+from repro.core.workload import WorkloadSet, pack_workloads
+from repro.gpu.spec import DeviceSpec
+
+__all__ = ["predict_tile_seconds", "predict_workloads_seconds"]
+
+
+def predict_workloads_seconds(
+    workloads: WorkloadSet,
+    table: LookupTable,
+    device: DeviceSpec,
+    *,
+    cached: bool = True,
+) -> float:
+    """Equations 1–5 over an already-packed workload set."""
+    n = workloads.n_workloads
+    if n == 0:
+        return 0.0
+    # Performance lookups, grouped by unique shape so each distinct
+    # rectangle is benchmarked once.
+    keys = np.stack(
+        [
+            workloads.w_pad,
+            workloads.heights,
+            workloads.widths,
+            workloads.h_pad,
+            workloads.storage,
+        ],
+        axis=1,
+    )
+    unique_keys, inverse = np.unique(keys, axis=0, return_inverse=True)
+    perf_unique = np.array(
+        [
+            table.performance(
+                int(w_pad), int(h), int(w), int(h_pad), int(storage),
+                cached=cached,
+            )
+            for w_pad, h, w, h_pad, storage in unique_keys
+        ]
+    )
+    perf = perf_unique[inverse]
+    padded = workloads.padded_entries.astype(np.float64)
+    iter_id = np.arange(n) // device.max_active_warps
+    n_iters = int(iter_id[-1]) + 1
+    size_i = np.bincount(iter_id, weights=padded, minlength=n_iters)
+    perf_sum = np.bincount(iter_id, weights=perf, minlength=n_iters)
+    count_i = np.bincount(iter_id, minlength=n_iters)
+    p_i = perf_sum / np.maximum(count_i, 1)
+    t_i = np.divide(
+        size_i, p_i, out=np.zeros_like(size_i), where=p_i > 0
+    )
+    return float(t_i.sum())
+
+
+def predict_tile_seconds(
+    sorted_row_lengths: np.ndarray,
+    workload_size: int,
+    table: LookupTable,
+    device: DeviceSpec,
+    *,
+    cached: bool = True,
+) -> float:
+    """Predicted time of one tile under a candidate workload size.
+
+    Packs the tile the same way the kernel's transform does (Algorithm 3
+    lines 8–9) and applies Equations 1–5.
+    """
+    workloads = pack_workloads(sorted_row_lengths, workload_size, device)
+    return predict_workloads_seconds(
+        workloads, table, device, cached=cached
+    )

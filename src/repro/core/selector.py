@@ -1,0 +1,151 @@
+"""Model-driven kernel selection (paper §5, "Performance Modeling").
+
+"The CSR, CSR-vector and ELL kernels from NVIDIA can be modeled as
+special cases of our tile-composite kernel under the framework of our
+performance model.  ... With the generality of our performance model,
+the performance of different kernels can be predicted by plugging in
+the data to the model first.  The best predicted kernel can be chosen
+to perform real computation of the data."
+
+This module realises that proposal: each candidate kernel is expressed
+as a (tiling, workload) special case of the composite framework, its
+time is predicted by the same Equations 1–5 machinery, and the best
+prediction wins.  The returned choice can be validated against the
+actual simulated kernels (see ``benchmarks/bench_ablation_selector.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.autotune import autotune
+from repro.core.lookup import LookupTable
+from repro.core.perf_model import predict_workloads_seconds
+from repro.core.workload import STORAGE_CSR, STORAGE_ELL, WorkloadSet
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix
+from repro.gpu.spec import DeviceSpec
+
+__all__ = ["KernelChoice", "predict_kernel_seconds", "select_kernel"]
+
+#: Kernels the selector can model as composite special cases.
+SELECTABLE = ("csr-vector", "ell", "tile-composite")
+
+
+@dataclass(frozen=True)
+class KernelChoice:
+    """Outcome of model-driven kernel selection."""
+
+    kernel: str
+    predicted_seconds: float
+    #: Predicted seconds of every candidate, for reporting.
+    predictions: dict
+
+
+def _uniform_workloads(
+    widths: np.ndarray, heights: np.ndarray, storage: int,
+    device: DeviceSpec,
+) -> WorkloadSet:
+    """A WorkloadSet built directly from given rectangles (bypassing the
+    greedy packer) — the vehicle for expressing other kernels as
+    composite special cases."""
+    widths = np.asarray(widths, dtype=np.int64)
+    heights = np.asarray(heights, dtype=np.int64)
+    n = widths.size
+    warp = device.warp_size
+    storage_arr = np.full(n, storage, dtype=np.int64)
+    w_pad = np.where(
+        storage_arr == STORAGE_CSR, -(-widths // warp) * warp, widths
+    )
+    h_pad = np.where(
+        storage_arr == STORAGE_ELL, -(-heights // warp) * warp, heights
+    )
+    starts = np.zeros(n, dtype=np.int64)
+    if n > 1:
+        np.cumsum(heights[:-1], out=starts[1:])
+    return WorkloadSet(
+        workload_size=0,
+        starts=starts,
+        heights=heights,
+        widths=np.maximum(widths, 1),
+        w_pad=np.maximum(w_pad, warp),
+        h_pad=np.maximum(h_pad, 1),
+        storage=storage_arr,
+        nnz=widths * heights,
+    )
+
+
+def predict_kernel_seconds(
+    kernel: str,
+    matrix: SparseMatrix,
+    device: DeviceSpec,
+    *,
+    table: LookupTable | None = None,
+) -> float:
+    """Predict one kernel's SpMV time via the composite framework.
+
+    * ``csr-vector`` — a single untiled (uncached) tile whose every row
+      is its own one-row CSR workload.
+    * ``ell`` — a single untiled tile of one column-major workload per
+      32 rows, all padded to the longest row.
+    * ``tile-composite`` — the auto-tuner's own prediction (Algorithms
+      1–3 end to end).
+    """
+    if kernel not in SELECTABLE:
+        raise ValidationError(
+            f"cannot model kernel {kernel!r}; selectable: {SELECTABLE}"
+        )
+    table = table or LookupTable(device)
+    if kernel == "tile-composite":
+        return autotune(matrix, device, table=table).predicted_seconds
+
+    lengths = matrix.row_lengths()
+    lengths = lengths[lengths > 0]
+    if lengths.size == 0:
+        return 0.0
+    if kernel == "csr-vector":
+        workloads = _uniform_workloads(
+            lengths, np.ones(lengths.size, dtype=np.int64),
+            STORAGE_CSR, device,
+        )
+    else:  # ell
+        max_len = int(lengths.max())
+        n_groups = -(-lengths.size // device.warp_size)
+        group_heights = np.full(n_groups, device.warp_size, dtype=np.int64)
+        group_heights[-1] = lengths.size - device.warp_size * (n_groups - 1)
+        workloads = _uniform_workloads(
+            np.full(n_groups, max_len, dtype=np.int64),
+            group_heights, STORAGE_ELL, device,
+        )
+    return predict_workloads_seconds(
+        workloads, table, device, cached=False
+    )
+
+
+def select_kernel(
+    matrix: SparseMatrix,
+    device: DeviceSpec,
+    *,
+    candidates: tuple[str, ...] = SELECTABLE,
+    table: LookupTable | None = None,
+) -> KernelChoice:
+    """Pick the kernel the model predicts fastest for this matrix."""
+    table = table or LookupTable(device)
+    predictions = {}
+    for name in candidates:
+        try:
+            predictions[name] = predict_kernel_seconds(
+                name, matrix, device, table=table
+            )
+        except ValidationError:
+            continue
+    if not predictions:
+        raise ValidationError("no selectable kernel candidates")
+    best = min(predictions, key=lambda k: predictions[k])
+    return KernelChoice(
+        kernel=best,
+        predicted_seconds=predictions[best],
+        predictions=predictions,
+    )

@@ -1,0 +1,108 @@
+"""The TILE-COO matrix representation.
+
+The paper's intermediate design (§3.1 Solution 2): tiles of the dense
+sub-matrix computed with NVIDIA's COO kernel (one launch per tile, each
+tile's ``x`` segment texture-cached), the sparse remainder computed with
+the HYB kernel ("because HYB has the best performance").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tiling import TilePlan, plan_tiles, slice_into_tiles
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix, check_vector
+from repro.formats.coo import COOMatrix
+from repro.formats.hyb import HYBMatrix
+from repro.gpu.spec import DeviceSpec
+
+__all__ = ["TileCOOMatrix", "build_tile_coo"]
+
+
+class TileCOOMatrix(SparseMatrix):
+    """Column-reordered, partially tiled matrix with COO tiles."""
+
+    def __init__(
+        self,
+        plan: TilePlan,
+        tiles: list[COOMatrix],
+        remainder: HYBMatrix | None,
+        shape: tuple[int, int],
+    ) -> None:
+        self.shape = shape
+        self.plan = plan
+        self.tiles = tiles
+        self.remainder = remainder
+        if len(tiles) != plan.n_tiles:
+            raise ValidationError(
+                f"{len(tiles)} tiles built but plan has {plan.n_tiles}"
+            )
+
+    @property
+    def nnz(self) -> int:
+        total = sum(t.nnz for t in self.tiles)
+        if self.remainder is not None:
+            total += self.remainder.nnz
+        return total
+
+    @property
+    def nbytes(self) -> int:
+        total = sum(t.nbytes for t in self.tiles) + 4 * self.plan.n_cols
+        if self.remainder is not None:
+            total += self.remainder.nbytes
+        return total
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = check_vector(x, self.n_cols)
+        x_reordered = x[self.plan.col_order]
+        y = np.zeros(self.n_rows, dtype=np.float64)
+        for t, tile in enumerate(self.tiles):
+            start, stop = self.plan.tile_range(t)
+            y += tile.spmv(x_reordered[start:stop])
+        if self.remainder is not None:
+            y += self.remainder.spmv(x_reordered[self.plan.dense_cols :])
+        return y
+
+    def to_coo(self) -> COOMatrix:
+        rows, cols, data = [], [], []
+        for t, tile in enumerate(self.tiles):
+            start, _stop = self.plan.tile_range(t)
+            rows.append(tile.rows)
+            cols.append(self.plan.col_order[start + tile.cols])
+            data.append(tile.data)
+        if self.remainder is not None:
+            rem = self.remainder.to_coo()
+            rows.append(rem.rows)
+            cols.append(self.plan.col_order[self.plan.dense_cols + rem.cols])
+            data.append(rem.data)
+        if not rows:
+            return COOMatrix(
+                np.zeros(0, np.int64), np.zeros(0, np.int64),
+                np.zeros(0), self.shape,
+            )
+        return COOMatrix.from_unsorted(
+            np.concatenate(rows),
+            np.concatenate(cols),
+            np.concatenate(data),
+            self.shape,
+            sum_duplicates=False,
+        )
+
+
+def build_tile_coo(
+    matrix: SparseMatrix,
+    device: DeviceSpec,
+    *,
+    n_tiles: int | None = None,
+    tile_width: int | None = None,
+) -> TileCOOMatrix:
+    """Column reorder + partial tiling with COO tiles and a HYB tail."""
+    coo = matrix.to_coo()
+    width = tile_width or device.tile_width_columns
+    plan = plan_tiles(coo.col_lengths(), tile_width=width, n_tiles=n_tiles)
+    tile_coos, remainder_coo = slice_into_tiles(coo, plan)
+    remainder = (
+        HYBMatrix.from_coo(remainder_coo) if remainder_coo.nnz else None
+    )
+    return TileCOOMatrix(plan, tile_coos, remainder, coo.shape)

@@ -1,0 +1,215 @@
+"""Composite workload packing (§3.1 Solution 3, Figure 1(d)).
+
+Rows of a tile, ranked by decreasing length, are packed greedily into
+*workloads* of roughly ``workload_size`` non-zeros.  Each workload is a
+rectangle: width ``w`` = length of its first (longest) row, height ``h``
+= number of rows, every row zero-padded to ``w``.  Storage and execution
+are chosen by shape:
+
+* ``w >= h`` — row-major, CSR-vector-style execution, ``w`` padded to a
+  warp multiple;
+* ``w < h``  — column-major, ELL-style execution, ``h`` padded to a warp
+  multiple.
+
+One warp computes one workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gpu.spec import DeviceSpec
+from repro.kernels import calibration as cal
+
+__all__ = [
+    "WorkloadSet",
+    "default_workload_size",
+    "pack_workloads",
+    "workload_warp_instructions",
+]
+
+#: Storage codes in the packed arrays.
+STORAGE_CSR = 0  # row-major, CSR-vector execution
+STORAGE_ELL = 1  # column-major, ELL execution
+
+
+@dataclass(frozen=True)
+class WorkloadSet:
+    """Column-parallel arrays describing every workload of one tile.
+
+    ``starts[k]:starts[k] + heights[k]`` indexes the tile's
+    length-sorted row list; widths/heights are the *logical* rectangle,
+    ``w_pad``/``h_pad`` the warp-size-padded one the kernel streams.
+    """
+
+    workload_size: int
+    starts: np.ndarray
+    heights: np.ndarray
+    widths: np.ndarray
+    w_pad: np.ndarray
+    h_pad: np.ndarray
+    storage: np.ndarray
+    nnz: np.ndarray
+
+    @property
+    def n_workloads(self) -> int:
+        return self.starts.size
+
+    @property
+    def padded_entries(self) -> np.ndarray:
+        """Stored slots per workload, padding included."""
+        return np.where(
+            self.storage == STORAGE_CSR,
+            self.w_pad * self.heights,
+            self.widths * self.h_pad,
+        )
+
+    @property
+    def total_padded(self) -> int:
+        return int(self.padded_entries.sum())
+
+    @property
+    def total_nnz(self) -> int:
+        return int(self.nnz.sum())
+
+    @property
+    def padding_ratio(self) -> float:
+        nnz = self.total_nnz
+        return self.total_padded / nnz if nnz else 0.0
+
+
+def default_workload_size(
+    row_lengths_sorted: np.ndarray, device: DeviceSpec
+) -> int:
+    """Algorithm 2's search bounds collapsed to a sane default.
+
+    The workload size must be at least the longest row (it cannot be
+    split) and, to keep the device busy, at most
+    ``tile_nnz / max_active_warps``; the default takes the larger of the
+    two, rounded up to a multiple of the longest row as the paper's
+    search constraint requires.
+    """
+    lengths = np.asarray(row_lengths_sorted)
+    if lengths.size == 0:
+        return 1
+    first = int(lengths[0])
+    if first <= 0:
+        return 1
+    upper = int(lengths.sum()) // device.max_active_warps
+    size = max(first, upper)
+    return -(-size // first) * first
+
+
+#: Close a workload once the next row is this much shorter than the
+#: workload's leading row.  Every row in a rectangle is padded to the
+#: leading row's width, so without the cutoff a hub row followed by the
+#: power-law tail degenerates into a mostly-empty rectangle; the cutoff
+#: bounds per-workload padding to roughly this factor.
+MAX_WIDTH_RATIO = 2.0
+
+
+def pack_workloads(
+    row_lengths_sorted: np.ndarray,
+    workload_size: int,
+    device: DeviceSpec,
+    *,
+    max_width_ratio: float = MAX_WIDTH_RATIO,
+) -> WorkloadSet:
+    """Greedy packing of length-sorted rows into balanced workloads.
+
+    Rows are appended to the current workload until adding the next row
+    would exceed ``workload_size`` *or* the next row is more than
+    ``max_width_ratio`` shorter than the workload's first row (the
+    padding guard); a workload always takes at least one row (so the
+    longest row fits by the ``workload_size >= lengths[0]``
+    precondition, which is validated).
+    """
+    lengths = np.asarray(row_lengths_sorted, dtype=np.int64)
+    if lengths.size and np.any(np.diff(lengths) > 0):
+        raise ValidationError("row lengths must be sorted non-increasing")
+    if lengths.size and lengths[-1] <= 0:
+        raise ValidationError("rows must be non-empty (filter zeros first)")
+    if lengths.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return WorkloadSet(workload_size, empty, empty, empty, empty,
+                           empty, empty, empty)
+    if workload_size < lengths[0]:
+        raise ValidationError(
+            f"workload_size {workload_size} is below the longest row "
+            f"({lengths[0]}); the longest row cannot be split"
+        )
+    cumulative = np.cumsum(lengths)
+    neg_lengths = -lengths  # ascending view for searchsorted
+    starts: list[int] = []
+    pos = 0
+    n = lengths.size
+    while pos < n:
+        starts.append(pos)
+        consumed = cumulative[pos - 1] if pos else 0
+        # Last row index whose cumulative nnz stays within the budget.
+        nxt = int(np.searchsorted(cumulative, consumed + workload_size,
+                                  side="right"))
+        # Padding guard: first row too short for this rectangle's width.
+        cutoff = lengths[pos] / max_width_ratio
+        first_below = int(np.searchsorted(neg_lengths, -cutoff,
+                                          side="right"))
+        nxt = min(nxt, max(first_below, pos + 1))
+        pos = max(nxt, pos + 1)
+    starts_arr = np.asarray(starts, dtype=np.int64)
+    ends = np.concatenate([starts_arr[1:], [n]])
+    heights = ends - starts_arr
+    widths = lengths[starts_arr]
+    boundaries = np.concatenate([[0], cumulative[ends - 1]])
+    nnz = np.diff(boundaries)
+    storage = np.where(widths >= heights, STORAGE_CSR, STORAGE_ELL)
+    warp = device.warp_size
+    w_pad = np.where(
+        storage == STORAGE_CSR, -(-widths // warp) * warp, widths
+    )
+    h_pad = np.where(
+        storage == STORAGE_ELL, -(-heights // warp) * warp, heights
+    )
+    return WorkloadSet(
+        workload_size=int(workload_size),
+        starts=starts_arr,
+        heights=heights,
+        widths=widths,
+        w_pad=w_pad,
+        h_pad=h_pad,
+        storage=storage,
+        nnz=nnz,
+    )
+
+
+def workload_warp_instructions(
+    w_pad: np.ndarray,
+    heights: np.ndarray,
+    widths: np.ndarray,
+    h_pad: np.ndarray,
+    storage: np.ndarray,
+    device: DeviceSpec,
+) -> np.ndarray:
+    """Issue-instruction count of the warp computing each workload.
+
+    * CSR-style: the warp sweeps each of the ``h`` rows in
+      ``w_pad / warp_size`` strides and reduces once per row.
+    * ELL-style: the warp covers the (padded) rows in groups of
+      ``warp_size``, each group iterating the ``w`` columns; no
+      reduction is needed (one thread owns one row).
+    """
+    warp = device.warp_size
+    csr_instr = (
+        heights * (cal.INSTR_PER_STRIDE * (w_pad // warp)
+                   + cal.INSTR_REDUCTION)
+        + cal.INSTR_FIXED
+    )
+    ell_instr = (
+        (h_pad // warp) * (cal.INSTR_PER_STRIDE * np.maximum(widths, 1))
+        + cal.INSTR_FIXED
+    )
+    return np.where(storage == STORAGE_CSR, csr_instr, ell_instr).astype(
+        np.float64
+    )

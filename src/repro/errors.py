@@ -1,0 +1,33 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError` so callers can catch
+one base class.  The two most interesting subclasses mirror failure modes
+reported in the paper:
+
+* :class:`FormatNotApplicableError` — e.g. the DIA kernel on a matrix that
+  is not banded, or the PKT kernel on a power-law matrix ("the partition
+  step within this kernel does not produce balanced enough packets and
+  leads to kernel failure", paper §4.1).
+* :class:`DeviceMemoryError` — a matrix that does not fit in simulated GPU
+  memory (drives the multi-GPU experiments, paper §4.3).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FormatNotApplicableError(ReproError):
+    """A storage format or kernel cannot represent / process this matrix."""
+
+
+class DeviceMemoryError(ReproError):
+    """Data does not fit in the simulated device memory."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative mining algorithm failed to converge within its budget."""
+
+
+class ValidationError(ReproError):
+    """A matrix or parameter failed structural validation."""

@@ -1,0 +1,43 @@
+"""Sparse matrix storage formats, implemented from scratch on NumPy.
+
+These mirror the formats in NVIDIA's SpMV library (Bell & Garland, SC'09;
+paper Appendix B) plus the plain CSC layout the tiling transform needs:
+
+====================  =====================================================
+:class:`COOMatrix`    coordinate triples, row-sorted
+:class:`CSRMatrix`    compressed sparse row
+:class:`CSCMatrix`    compressed sparse column
+:class:`ELLMatrix`    ELLPACK — fixed row width K, column-major, zero pad
+:class:`HYBMatrix`    hybrid — ELL for the first K entries/row, COO rest
+:class:`DIAMatrix`    diagonal — only for banded matrices
+:class:`PKTMatrix`    packet — clustered dense-ish sub-blocks
+====================  =====================================================
+
+Every format can produce the exact product ``y = A @ x`` via ``spmv`` and
+report its storage footprint via ``nbytes`` (padding included — the
+memory-overhead constraint the paper discusses for ELL and blocked
+formats).
+"""
+
+from repro.formats.base import SparseMatrix
+from repro.formats.convert import from_dense, to_format
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hyb import HYBMatrix
+from repro.formats.pkt import PKTMatrix
+
+__all__ = [
+    "COOMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "DIAMatrix",
+    "ELLMatrix",
+    "HYBMatrix",
+    "PKTMatrix",
+    "SparseMatrix",
+    "from_dense",
+    "to_format",
+]

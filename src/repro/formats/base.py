@@ -1,0 +1,127 @@
+"""Common interface of all sparse matrix formats."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gpu.spec import FLOAT_BYTES
+
+__all__ = ["SparseMatrix", "check_shape", "check_vector"]
+
+
+def check_shape(shape: tuple[int, int]) -> tuple[int, int]:
+    """Validate and normalise a matrix shape."""
+    try:
+        n_rows, n_cols = shape
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"shape must be a 2-tuple, got {shape!r}") from exc
+    n_rows, n_cols = int(n_rows), int(n_cols)
+    if n_rows < 0 or n_cols < 0:
+        raise ValidationError(f"shape must be non-negative, got {shape!r}")
+    return n_rows, n_cols
+
+
+def check_vector(x: np.ndarray, expected_len: int, name: str = "x") -> np.ndarray:
+    """Validate an input vector for SpMV and coerce it to float64."""
+    vec = np.asarray(x, dtype=np.float64)
+    if vec.ndim != 1:
+        raise ValidationError(f"{name} must be one-dimensional")
+    if vec.size != expected_len:
+        raise ValidationError(
+            f"{name} has length {vec.size}, expected {expected_len}"
+        )
+    return vec
+
+
+class SparseMatrix(abc.ABC):
+    """Abstract base of every storage format.
+
+    Subclasses store their arrays in the layout a GPU kernel would use
+    and implement an exact ``spmv``.  Performance is *not* modelled here;
+    that is the job of ``repro.kernels``, which reads the structural
+    properties exposed by this interface.
+    """
+
+    #: Matrix dimensions ``(n_rows, n_cols)``.
+    shape: tuple[int, int]
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        """Number of columns."""
+        return self.shape[1]
+
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Number of stored non-zero entries (explicit zeros excluded
+        from padding accounting but included if stored)."""
+
+    @property
+    @abc.abstractmethod
+    def nbytes(self) -> int:
+        """Storage footprint in bytes, padding included."""
+
+    @abc.abstractmethod
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Exact product ``y = A @ x``."""
+
+    @abc.abstractmethod
+    def to_coo(self) -> "SparseMatrix":
+        """Convert to :class:`~repro.formats.coo.COOMatrix`."""
+
+    # ------------------------------------------------------------------
+    # Shared conveniences
+    # ------------------------------------------------------------------
+
+    @property
+    def flops(self) -> int:
+        """Useful FLOPs of one SpMV (a multiply and an add per non-zero)."""
+        return 2 * self.nnz
+
+    @property
+    def density(self) -> float:
+        """Fraction of entries that are stored."""
+        cells = self.n_rows * self.n_cols
+        return self.nnz / cells if cells else 0.0
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense array (small matrices / tests only)."""
+        coo = self.to_coo()
+        dense = np.zeros(self.shape, dtype=np.float64)
+        # += via np.add.at to honour duplicate coordinates, which the
+        # formats forbid but defensive conversion should not corrupt.
+        np.add.at(dense, (coo.rows, coo.cols), coo.data)
+        return dense
+
+    def row_lengths(self) -> np.ndarray:
+        """Number of stored entries per row."""
+        coo = self.to_coo()
+        return np.bincount(coo.rows, minlength=self.n_rows)
+
+    def col_lengths(self) -> np.ndarray:
+        """Number of stored entries per column."""
+        coo = self.to_coo()
+        return np.bincount(coo.cols, minlength=self.n_cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(shape={self.shape}, nnz={self.nnz}, "
+            f"nbytes={self.nbytes})"
+        )
+
+    @staticmethod
+    def _array_bytes(*arrays: np.ndarray) -> int:
+        """Sum of array footprints, assuming 4-byte values/indices as the
+        GPU kernels store them (the paper runs in single precision)."""
+        total = 0
+        for arr in arrays:
+            total += arr.size * FLOAT_BYTES
+        return total

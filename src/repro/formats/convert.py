@@ -1,0 +1,54 @@
+"""Format conversions and dense round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hyb import HYBMatrix
+from repro.formats.pkt import PKTMatrix
+
+__all__ = ["FORMAT_BUILDERS", "from_dense", "to_format"]
+
+#: Registry of converters from COO to each named format.
+FORMAT_BUILDERS = {
+    "coo": lambda coo, **kw: coo,
+    "csr": lambda coo, **kw: CSRMatrix.from_coo(coo),
+    "csc": lambda coo, **kw: CSCMatrix.from_coo(coo),
+    "ell": ELLMatrix.from_coo,
+    "hyb": HYBMatrix.from_coo,
+    "dia": DIAMatrix.from_coo,
+    "pkt": PKTMatrix.from_coo,
+}
+
+
+def from_dense(dense: np.ndarray) -> COOMatrix:
+    """Extract the non-zero structure of a dense array as COO."""
+    dense = np.asarray(dense, dtype=np.float64)
+    if dense.ndim != 2:
+        raise ValidationError("dense input must be two-dimensional")
+    rows, cols = np.nonzero(dense)
+    return COOMatrix(rows, cols, dense[rows, cols], dense.shape)
+
+
+def to_format(matrix: SparseMatrix, name: str, **kwargs) -> SparseMatrix:
+    """Convert any matrix to the named format.
+
+    Raises :class:`~repro.errors.FormatNotApplicableError` for formats
+    that cannot represent the matrix (DIA on non-banded, PKT on
+    unclusterable inputs) — the same failures the paper reports.
+    """
+    key = name.lower()
+    if key not in FORMAT_BUILDERS:
+        raise ValidationError(
+            f"unknown format {name!r}; expected one of "
+            f"{sorted(FORMAT_BUILDERS)}"
+        )
+    coo = matrix.to_coo()
+    return FORMAT_BUILDERS[key](coo, **kwargs)

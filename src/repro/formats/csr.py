@@ -1,0 +1,149 @@
+"""Compressed sparse row (CSR) format.
+
+Non-zeros of each row stored contiguously; ``indptr`` marks row
+boundaries.  The format behind the CSR (scalar), CSR-vector and
+Baskaran & Bordawekar kernels, and the layout the paper's composite
+storage uses for wide workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix, check_shape, check_vector
+from repro.formats.coo import COOMatrix
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix(SparseMatrix):
+    """Compressed sparse row storage.
+
+    Parameters
+    ----------
+    indptr:
+        Length ``n_rows + 1``; row *i* owns ``indices[indptr[i]:indptr[i+1]]``.
+    indices:
+        Column index of each non-zero.
+    data:
+        Value of each non-zero.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: tuple[int, int],
+    ) -> None:
+        self.shape = check_shape(shape)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.indptr.size != self.n_rows + 1:
+            raise ValidationError(
+                f"indptr has length {self.indptr.size}, expected "
+                f"{self.n_rows + 1}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValidationError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValidationError("indptr must be non-decreasing")
+        if self.indices.size != self.data.size:
+            raise ValidationError("indices and data must have equal lengths")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.n_cols
+        ):
+            raise ValidationError("column index out of range")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        """Build from a (row-sorted) COO matrix."""
+        counts = np.bincount(coo.rows, minlength=coo.n_rows)
+        indptr = np.zeros(coo.n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, coo.cols.copy(), coo.data.copy(), coo.shape)
+
+    # ------------------------------------------------------------------
+    # SparseMatrix interface
+    # ------------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return self.data.size
+
+    @property
+    def nbytes(self) -> int:
+        return self._array_bytes(self.indptr, self.indices, self.data)
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = check_vector(x, self.n_cols)
+        if self.nnz == 0:
+            return np.zeros(self.n_rows, dtype=np.float64)
+        products = self.data * x[self.indices]
+        row_of = np.repeat(
+            np.arange(self.n_rows), np.diff(self.indptr)
+        )
+        return np.bincount(row_of, weights=products, minlength=self.n_rows)
+
+    def to_coo(self) -> COOMatrix:
+        rows = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+        return COOMatrix(rows, self.indices.copy(), self.data.copy(), self.shape)
+
+    # ------------------------------------------------------------------
+    # Structure queries used by kernels and the tiling transform
+    # ------------------------------------------------------------------
+
+    def row_lengths(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Column indices and values of row ``i``."""
+        if not 0 <= i < self.n_rows:
+            raise ValidationError(f"row {i} out of range")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def select_rows(self, row_ids: np.ndarray) -> "CSRMatrix":
+        """Sub-matrix of the given rows in the given order, renumbered."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        lengths = np.diff(self.indptr)[row_ids]
+        indptr = np.zeros(row_ids.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        total = int(indptr[-1])
+        indices = np.empty(total, dtype=np.int64)
+        data = np.empty(total, dtype=np.float64)
+        # Gather each selected row's slice.  Vectorised via a flat index
+        # construction: positions of the source entries.
+        starts = self.indptr[row_ids]
+        if total:
+            offsets = np.arange(total) - np.repeat(indptr[:-1], lengths)
+            src = np.repeat(starts, lengths) + offsets
+            indices[:] = self.indices[src]
+            data[:] = self.data[src]
+        return CSRMatrix(indptr, indices, data, (row_ids.size, self.n_cols))
+
+    def normalize_rows(self) -> "CSRMatrix":
+        """Row-stochastic copy (rows summing to 1; empty rows left zero).
+
+        This is the ``W`` of the PageRank formulation (Appendix F).
+        """
+        sums = self.spmv(np.ones(self.n_cols))
+        row_of = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+        scale = np.ones(self.n_rows)
+        nonzero = sums != 0
+        scale[nonzero] = 1.0 / sums[nonzero]
+        return CSRMatrix(
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.data * scale[row_of],
+            self.shape,
+        )

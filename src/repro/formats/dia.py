@@ -1,0 +1,108 @@
+"""Diagonal (DIA) format.
+
+Stores whole diagonals; "only applicable to matrices in which all
+non-zeros fall into a band around the diagonal" (Appendix B).  Building
+it on a matrix with too many occupied diagonals raises
+:class:`FormatNotApplicableError` — the paper reports exactly this:
+the DIA kernel "cannot run on matrices of power-law graphs".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatNotApplicableError, ValidationError
+from repro.formats.base import SparseMatrix, check_shape, check_vector
+from repro.formats.coo import COOMatrix
+
+__all__ = ["DIAMatrix"]
+
+#: Refuse to store more than this many diagonals relative to what dense
+#: storage of the band would cost; matches DIA's practical viability.
+MAX_DIAGONALS_FRACTION = 0.25
+
+
+class DIAMatrix(SparseMatrix):
+    """Diagonal storage: ``data[d, i]`` is entry ``(i, i + offsets[d])``."""
+
+    def __init__(
+        self,
+        offsets: np.ndarray,
+        data: np.ndarray,
+        shape: tuple[int, int],
+    ) -> None:
+        self.shape = check_shape(shape)
+        self.offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.offsets.ndim != 1 or self.data.ndim != 2:
+            raise ValidationError("offsets must be 1-D and data 2-D")
+        if self.data.shape != (self.offsets.size, self.n_rows):
+            raise ValidationError(
+                "data must have shape (n_diagonals, n_rows), got "
+                f"{self.data.shape}"
+            )
+        if self.offsets.size != np.unique(self.offsets).size:
+            raise ValidationError("diagonal offsets must be unique")
+
+    @classmethod
+    def from_coo(
+        cls,
+        coo: COOMatrix,
+        *,
+        max_diagonals: int | None = None,
+    ) -> "DIAMatrix":
+        """Build from COO; fails for matrices that are not banded."""
+        diag_of = coo.cols - coo.rows
+        offsets = np.unique(diag_of)
+        limit = max_diagonals
+        if limit is None:
+            limit = max(
+                1, int(MAX_DIAGONALS_FRACTION * max(coo.n_rows, coo.n_cols))
+            )
+        if offsets.size > limit:
+            raise FormatNotApplicableError(
+                f"matrix occupies {offsets.size} diagonals "
+                f"(limit {limit}); DIA is only for banded matrices"
+            )
+        data = np.zeros((offsets.size, coo.n_rows), dtype=np.float64)
+        slot = np.searchsorted(offsets, diag_of)
+        data[slot, coo.rows] = coo.data
+        return cls(offsets, data, coo.shape)
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.data))
+
+    @property
+    def padded_entries(self) -> int:
+        """Stored slots including the zero padding of partial diagonals."""
+        return self.data.size
+
+    @property
+    def nbytes(self) -> int:
+        return self._array_bytes(self.data) + self.offsets.size * 4
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = check_vector(x, self.n_cols)
+        y = np.zeros(self.n_rows, dtype=np.float64)
+        rows = np.arange(self.n_rows)
+        for d, offset in enumerate(self.offsets):
+            cols = rows + offset
+            mask = (cols >= 0) & (cols < self.n_cols)
+            y[mask] += self.data[d, mask] * x[cols[mask]]
+        return y
+
+    def to_coo(self) -> COOMatrix:
+        diag_ids, rows = np.nonzero(self.data)
+        cols = rows + self.offsets[diag_ids]
+        keep = (cols >= 0) & (cols < self.n_cols)
+        return COOMatrix.from_unsorted(
+            rows[keep],
+            cols[keep],
+            self.data[diag_ids[keep], rows[keep]],
+            self.shape,
+            sum_duplicates=False,
+        )

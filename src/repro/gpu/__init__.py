@@ -1,0 +1,67 @@
+"""GPU performance-simulator substrate.
+
+The paper ran on NVIDIA Tesla C1060 cards.  This package replaces the
+hardware with an analytic/trace-driven model of the same machine.  Each
+sub-module models one architectural mechanism the paper's optimisations
+exploit:
+
+``spec``
+    Device parameter sheets (:class:`DeviceSpec`, :class:`CPUSpec`).
+``cache``
+    The texture cache.  Untiled kernels that bind all of ``x`` to the
+    texture unit are modelled with Che's approximation of an LRU cache
+    under the independent reference model; tiled kernels with exact
+    compulsory-miss accounting (the point of tiling is that a tile's
+    ``x`` segment fits in cache).
+``memory``
+    Global-memory transactions: coalescing into 128-byte segments,
+    32-byte minimum transactions for scattered accesses, and the
+    8 x 256-byte partition-camping model.
+``scheduler``
+    Warp scheduling: per-warp issue-cycle costs are folded into
+    active-warp iterations (Equation 1 of the paper) with SM load
+    imbalance and straggler effects.
+``costs``
+    :class:`CostReport` — the common currency all kernels produce;
+    converts byte/cycle tallies into seconds, GFLOPS and GB/s using the
+    paper's metric definitions.
+``launch``
+    Kernel-launch and PCI-Express transfer overheads.
+"""
+
+from repro.gpu.cache import (
+    che_characteristic_time,
+    che_hit_rates,
+    overall_hit_rate,
+    tile_hit_rate,
+)
+from repro.gpu.cache_sim import irm_trace, simulate_lru, spmv_trace
+from repro.gpu.costs import CostReport
+from repro.gpu.launch import kernel_launch_seconds, pcie_transfer_seconds
+from repro.gpu.memory import (
+    partition_efficiency,
+    random_access_bytes,
+    streamed_bytes,
+)
+from repro.gpu.scheduler import WarpSchedule, schedule_warps
+from repro.gpu.spec import CPUSpec, DeviceSpec
+
+__all__ = [
+    "CPUSpec",
+    "CostReport",
+    "DeviceSpec",
+    "WarpSchedule",
+    "che_characteristic_time",
+    "che_hit_rates",
+    "irm_trace",
+    "kernel_launch_seconds",
+    "overall_hit_rate",
+    "partition_efficiency",
+    "pcie_transfer_seconds",
+    "random_access_bytes",
+    "schedule_warps",
+    "simulate_lru",
+    "spmv_trace",
+    "streamed_bytes",
+    "tile_hit_rate",
+]

@@ -1,0 +1,183 @@
+"""Texture-cache models.
+
+The SpMV kernels read the input vector ``x`` through the texture unit.
+Two situations arise:
+
+* **Untiled kernels** (NVIDIA's CSR/COO/ELL/HYB with the whole of ``x``
+  bound to the texture, paper Observation 1): the working set is usually
+  much larger than the cache, so the hit rate is governed by the *column
+  popularity* distribution.  We model this with **Che's approximation**
+  of an LRU cache under the independent reference model: item *j* with
+  access probability :math:`p_j` hits with probability
+  :math:`1 - e^{-p_j T}`, where the characteristic time *T* solves
+
+  .. math:: \\sum_j \\left(1 - e^{-p_j T}\\right) = C
+
+  for a cache of *C* lines.  On a power-law matrix the few hot columns
+  hit and the long tail misses — exactly the behaviour the paper's tiling
+  attacks.
+
+* **Tiled kernels** (the paper's contribution, Solution 1): the segment
+  of ``x`` a tile touches fits in the cache by construction, so only
+  *compulsory* misses remain — one per distinct cache line touched.
+
+Both models work on cache *lines*: consecutive ``x`` entries share a
+line, so per-line access counts are formed by summing the counts of the
+columns that map to each line.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "che_characteristic_time",
+    "che_hit_rates",
+    "line_access_counts",
+    "overall_hit_rate",
+    "tile_hit_rate",
+]
+
+
+def line_access_counts(
+    column_counts: np.ndarray, floats_per_line: int
+) -> np.ndarray:
+    """Aggregate per-column access counts into per-cache-line counts.
+
+    ``x[j]`` lives on line ``j // floats_per_line``; a fetch of any
+    column on a line brings the whole line in.
+
+    Parameters
+    ----------
+    column_counts:
+        ``column_counts[j]`` is the number of times column *j* of the
+        matrix is accessed during one SpMV (i.e. the column degree).
+    floats_per_line:
+        How many consecutive ``x`` values share one cache line.
+    """
+    counts = np.asarray(column_counts, dtype=np.float64)
+    if counts.ndim != 1:
+        raise ValidationError("column_counts must be one-dimensional")
+    if floats_per_line < 1:
+        raise ValidationError("floats_per_line must be >= 1")
+    if floats_per_line == 1:
+        return counts
+    n_lines = -(-counts.size // floats_per_line)
+    padded = np.zeros(n_lines * floats_per_line, dtype=np.float64)
+    padded[: counts.size] = counts
+    return padded.reshape(n_lines, floats_per_line).sum(axis=1)
+
+
+def che_characteristic_time(
+    access_counts: np.ndarray, cache_lines: int, *, tol: float = 1e-9
+) -> float:
+    """Solve Che's fixed point for the characteristic time *T*.
+
+    *T* is expressed in units of "accesses": an item survives in the
+    cache for roughly *T* consecutive references to the cache as a whole.
+
+    Parameters
+    ----------
+    access_counts:
+        Per-line access counts (need not be normalised).
+    cache_lines:
+        Cache capacity in lines.
+    tol:
+        Relative tolerance of the bisection solve.
+    """
+    counts = np.asarray(access_counts, dtype=np.float64)
+    counts = counts[counts > 0]
+    if cache_lines <= 0:
+        raise ValidationError("cache_lines must be positive")
+    if counts.size == 0:
+        return 0.0
+    if counts.size <= cache_lines:
+        # Everything fits; the characteristic time is effectively infinite.
+        return np.inf
+
+    total = counts.sum()
+    rates = counts / total
+
+    def occupancy(t: float) -> float:
+        return float(np.sum(-np.expm1(-rates * t)))
+
+    # Bracket the root: occupancy is monotone increasing in t, 0 at t=0
+    # and -> number of items as t -> inf.
+    lo, hi = 0.0, 1.0
+    while occupancy(hi) < cache_lines:
+        hi *= 2.0
+        if hi > 1e18:  # pragma: no cover - defensive
+            return np.inf
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if occupancy(mid) < cache_lines:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tol * max(hi, 1.0):
+            break
+    return 0.5 * (lo + hi)
+
+
+def che_hit_rates(
+    access_counts: np.ndarray, cache_lines: int
+) -> np.ndarray:
+    """Per-line hit probabilities under Che's approximation.
+
+    Lines with zero accesses get hit probability 0 (they are never
+    referenced, the value is a placeholder that keeps indices aligned).
+    """
+    counts = np.asarray(access_counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return np.zeros_like(counts)
+    t_char = che_characteristic_time(counts, cache_lines)
+    if np.isinf(t_char):
+        # Cache holds the whole working set: every re-reference hits;
+        # the first touch of each line still misses, which the caller
+        # accounts for via `overall_hit_rate`.
+        hits = np.ones_like(counts)
+        hits[counts <= 0] = 0.0
+        return hits
+    rates = counts / total
+    return -np.expm1(-rates * t_char)
+
+
+def overall_hit_rate(
+    access_counts: np.ndarray, cache_lines: int
+) -> float:
+    """Access-weighted aggregate hit rate, including compulsory misses.
+
+    Che's approximation describes the steady state; one compulsory miss
+    per referenced line is charged on top, which matters when the
+    working set fits in the cache (steady-state hit rate 1.0, yet every
+    line must be fetched once).
+    """
+    counts = np.asarray(access_counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    per_line = che_hit_rates(counts, cache_lines)
+    expected_hits = float(np.dot(counts, per_line))
+    # Compulsory: first access to each referenced line cannot hit.
+    compulsory = float(np.count_nonzero(counts))
+    expected_hits = min(expected_hits, total - compulsory)
+    return max(0.0, expected_hits / total)
+
+
+def tile_hit_rate(distinct_lines: int, total_accesses: int) -> float:
+    """Hit rate of a tiled kernel whose ``x`` segment fits in cache.
+
+    Only compulsory misses remain: one per distinct line touched by the
+    tile.  A tile whose columns are touched once each (no reuse) has hit
+    rate 0 — the paper's Algorithm 1 stops adding tiles exactly when
+    that happens.
+    """
+    if total_accesses <= 0:
+        return 0.0
+    if distinct_lines < 0:
+        raise ValidationError("distinct_lines must be non-negative")
+    distinct_lines = min(distinct_lines, total_accesses)
+    return 1.0 - distinct_lines / total_accesses

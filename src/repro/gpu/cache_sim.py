@@ -1,0 +1,79 @@
+"""Exact LRU cache simulation (validation substrate).
+
+The kernel cost models use Che's approximation (:mod:`repro.gpu.cache`)
+because simulating tens of millions of probes per kernel is infeasible
+inside a cost model.  This module provides the ground truth for *small*
+traces: an exact LRU simulator plus a trace generator matching the
+independent-reference model, so the approximation's accuracy is a tested
+property rather than an article of faith
+(see ``tests/test_gpu_cache_sim.py``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["irm_trace", "simulate_lru", "spmv_trace"]
+
+
+def simulate_lru(trace: np.ndarray, capacity: int) -> float:
+    """Exact hit rate of an LRU cache of ``capacity`` lines on a trace.
+
+    ``trace`` is a sequence of line ids; the cache starts cold
+    (compulsory misses included, matching
+    :func:`repro.gpu.cache.overall_hit_rate`).
+    """
+    if capacity < 1:
+        raise ValidationError("capacity must be >= 1")
+    items = np.asarray(trace).ravel()
+    if items.size == 0:
+        return 0.0
+    cache: OrderedDict[int, None] = OrderedDict()
+    hits = 0
+    for line in items.tolist():
+        if line in cache:
+            hits += 1
+            cache.move_to_end(line)
+        else:
+            cache[line] = None
+            if len(cache) > capacity:
+                cache.popitem(last=False)
+    return hits / items.size
+
+
+def irm_trace(
+    line_counts: np.ndarray, n_accesses: int, *, seed: int = 0
+) -> np.ndarray:
+    """Independent-reference-model trace with the given popularity.
+
+    Lines are drawn i.i.d. with probability proportional to
+    ``line_counts`` — the regime in which Che's approximation is exact
+    in the limit.
+    """
+    counts = np.asarray(line_counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        raise ValidationError("line_counts must have positive mass")
+    if n_accesses < 0:
+        raise ValidationError("n_accesses must be non-negative")
+    rng = np.random.default_rng(seed)
+    probs = counts / total
+    return rng.choice(counts.size, size=n_accesses, p=probs)
+
+
+def spmv_trace(
+    col_indices: np.ndarray, floats_per_line: int
+) -> np.ndarray:
+    """The actual x-access line trace of one SpMV.
+
+    ``col_indices`` in storage order (the order the kernel walks the
+    non-zeros) mapped to cache lines — the real, correlated trace that
+    the IRM idealises.
+    """
+    if floats_per_line < 1:
+        raise ValidationError("floats_per_line must be >= 1")
+    return np.asarray(col_indices, dtype=np.int64) // floats_per_line

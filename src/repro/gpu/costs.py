@@ -1,0 +1,182 @@
+"""Cost accounting shared by every simulated kernel.
+
+A :class:`CostReport` is the common currency of the simulator.  Kernels
+tally
+
+* ``flops`` — useful floating point work (``2 * nnz`` for SpMV),
+* ``algorithmic_bytes`` — the bytes the *algorithm* reads and writes
+  (matrix arrays including padding, one ``x`` read per non-zero and the
+  ``y`` writes).  This is the numerator of the paper's GB/s metric,
+  which is why a cached kernel can report more than the 102 GB/s peak
+  (the paper's dense-matrix result of 105.5 GB/s, Appendix D),
+* ``dram_bytes`` — the traffic that actually reaches DRAM after
+  coalescing, caching and padding waste,
+* ``compute_seconds`` — warp-scheduler time (issue cycles, divergence,
+  imbalance),
+* ``overhead_seconds`` — serial overheads such as kernel launches and
+  PCIe transfers.
+
+Kernel time is ``max(memory_seconds, compute_seconds) +
+overhead_seconds``: global-memory traffic and instruction issue overlap,
+launches do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.gpu.spec import DeviceSpec
+
+__all__ = ["CostReport"]
+
+
+@dataclass
+class CostReport:
+    """Simulated execution profile of one kernel (or a pipeline of them).
+
+    Reports are closed under ``+``: adding two reports models running
+    the kernels back to back (times add, tallies add).
+    """
+
+    label: str
+    flops: float = 0.0
+    algorithmic_bytes: float = 0.0
+    dram_bytes: float = 0.0
+    memory_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    overhead_seconds: float = 0.0
+    time_seconds: float = 0.0
+    details: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tallies(
+        cls,
+        label: str,
+        *,
+        device: DeviceSpec,
+        flops: float,
+        algorithmic_bytes: float,
+        dram_bytes: float,
+        compute_seconds: float,
+        overhead_seconds: float = 0.0,
+        bandwidth_efficiency: float = 1.0,
+        details: dict | None = None,
+    ) -> "CostReport":
+        """Build a report, deriving memory time and total time.
+
+        ``bandwidth_efficiency`` folds in partition camping and other
+        effective-bandwidth losses (1.0 = full peak bandwidth).
+        """
+        if not 0.0 < bandwidth_efficiency <= 1.0:
+            raise ValidationError(
+                "bandwidth_efficiency must be in (0, 1], got "
+                f"{bandwidth_efficiency}"
+            )
+        if min(flops, algorithmic_bytes, dram_bytes) < 0:
+            raise ValidationError("cost tallies must be non-negative")
+        if min(compute_seconds, overhead_seconds) < 0:
+            raise ValidationError("cost times must be non-negative")
+        effective_bw = device.global_bandwidth * bandwidth_efficiency
+        memory_seconds = dram_bytes / effective_bw
+        time = max(memory_seconds, compute_seconds) + overhead_seconds
+        return cls(
+            label=label,
+            flops=flops,
+            algorithmic_bytes=algorithmic_bytes,
+            dram_bytes=dram_bytes,
+            memory_seconds=memory_seconds,
+            compute_seconds=compute_seconds,
+            overhead_seconds=overhead_seconds,
+            time_seconds=time,
+            details=dict(details or {}),
+        )
+
+    @classmethod
+    def overhead(cls, label: str, seconds: float) -> "CostReport":
+        """A pure-overhead report (e.g. a PCIe transfer)."""
+        if seconds < 0:
+            raise ValidationError("overhead seconds must be non-negative")
+        return cls(label=label, overhead_seconds=seconds, time_seconds=seconds)
+
+    @classmethod
+    def zero(cls, label: str = "zero") -> "CostReport":
+        """The additive identity."""
+        return cls(label=label)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: "CostReport") -> "CostReport":
+        if not isinstance(other, CostReport):
+            return NotImplemented
+        return CostReport(
+            label=self.label if self.label != "zero" else other.label,
+            flops=self.flops + other.flops,
+            algorithmic_bytes=self.algorithmic_bytes + other.algorithmic_bytes,
+            dram_bytes=self.dram_bytes + other.dram_bytes,
+            memory_seconds=self.memory_seconds + other.memory_seconds,
+            compute_seconds=self.compute_seconds + other.compute_seconds,
+            overhead_seconds=self.overhead_seconds + other.overhead_seconds,
+            time_seconds=self.time_seconds + other.time_seconds,
+            details={**self.details, **other.details},
+        )
+
+    __radd__ = __add__
+
+    def relabel(self, label: str) -> "CostReport":
+        """Return a copy of the report under a new label."""
+        report = CostReport(**{**self.__dict__, "label": label})
+        report.details = dict(self.details)
+        return report
+
+    def scaled(self, factor: float) -> "CostReport":
+        """Scale every tally and time by ``factor`` (e.g. iterations)."""
+        if factor < 0:
+            raise ValidationError("scale factor must be non-negative")
+        return CostReport(
+            label=self.label,
+            flops=self.flops * factor,
+            algorithmic_bytes=self.algorithmic_bytes * factor,
+            dram_bytes=self.dram_bytes * factor,
+            memory_seconds=self.memory_seconds * factor,
+            compute_seconds=self.compute_seconds * factor,
+            overhead_seconds=self.overhead_seconds * factor,
+            time_seconds=self.time_seconds * factor,
+            details=dict(self.details),
+        )
+
+    # ------------------------------------------------------------------
+    # Derived metrics (the paper's reporting units)
+    # ------------------------------------------------------------------
+
+    @property
+    def gflops(self) -> float:
+        """Useful GFLOP/s, the paper's Figure 2(a)/3(a) metric."""
+        if self.time_seconds <= 0:
+            return 0.0
+        return self.flops / self.time_seconds / 1e9
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        """Algorithmic GB/s, the paper's Figure 2(b)/3(b) metric."""
+        if self.time_seconds <= 0:
+            return 0.0
+        return self.algorithmic_bytes / self.time_seconds / 1e9
+
+    @property
+    def memory_bound(self) -> bool:
+        """Whether DRAM traffic (rather than issue) limits the kernel."""
+        return self.memory_seconds >= self.compute_seconds
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.label}: {self.time_seconds * 1e3:.3f} ms, "
+            f"{self.gflops:.2f} GFLOPS, {self.bandwidth_gbs:.1f} GB/s"
+        )

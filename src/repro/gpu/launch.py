@@ -1,0 +1,30 @@
+"""Serial overheads: kernel launches and PCI-Express transfers.
+
+§3.1 of the paper: "we restart a kernel for each tile, which also causes
+an overhead" — this overhead is why tiling *every* column is a loss and
+partial tiling of only the dense columns wins.  §3.2: the 8 GB/s PCIe
+bus makes a chunked single-GPU strategy for out-of-core matrices slower
+than the kernels themselves (which sustain ~40 GB/s), motivating the
+multi-GPU design.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.gpu.spec import DeviceSpec
+
+__all__ = ["kernel_launch_seconds", "pcie_transfer_seconds"]
+
+
+def kernel_launch_seconds(n_launches: int, device: DeviceSpec) -> float:
+    """Cost of ``n_launches`` back-to-back kernel launches."""
+    if n_launches < 0:
+        raise ValidationError("n_launches must be non-negative")
+    return n_launches * device.kernel_launch_seconds
+
+
+def pcie_transfer_seconds(n_bytes: float, device: DeviceSpec) -> float:
+    """Host-to-device (or back) transfer time over PCIe."""
+    if n_bytes < 0:
+        raise ValidationError("n_bytes must be non-negative")
+    return n_bytes / device.pcie_bandwidth

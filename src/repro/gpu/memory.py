@@ -1,0 +1,148 @@
+"""Global-memory transaction model.
+
+Appendix A of the paper: memory requests of a half warp are served
+together; accesses of 4-byte words are organised into 128-byte segments
+and coalesce into one transaction when they fall in the same segment.
+Scattered accesses each pay (at least) a 32-byte transaction.  Global
+memory is additionally split into 8 partitions of 256 bytes; when all
+active warps hammer the same partition ("partition camping", §3.1) the
+effective bandwidth collapses by up to 8x.
+
+The helpers here convert *logical* byte counts into *transaction* byte
+counts (what the DRAM actually moves) and compute the partition-camping
+efficiency factor from workload start addresses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gpu.spec import DeviceSpec
+
+__all__ = [
+    "bandwidth_saturation",
+    "partition_efficiency",
+    "partition_histogram",
+    "random_access_bytes",
+    "segment_count",
+    "streamed_bytes",
+]
+
+#: Independent loads one warp keeps in flight (streaming inner loops
+#: issue several iterations' loads before stalling on the first use).
+MEMORY_ILP_PER_WARP = 4
+
+
+def bandwidth_saturation(n_warps: int, device: DeviceSpec) -> float:
+    """Fraction of peak bandwidth reachable with ``n_warps`` in flight.
+
+    Little's law: sustaining ``B`` bytes/s at latency ``L`` needs
+    ``B * L`` bytes outstanding — about 340 segment-sized requests on
+    the C1060.  A kernel that spawns only a handful of warps (e.g. ELL
+    on a matrix with few rows) cannot keep that many requests in flight
+    no matter how coalesced its accesses are; each warp contributes
+    ``MEMORY_ILP_PER_WARP`` outstanding segments.
+    """
+    if n_warps <= 0:
+        return 1.0
+    latency_seconds = device.global_latency_cycles / device.clock_hz
+    needed_segments = (
+        device.global_bandwidth * latency_seconds / device.segment_bytes
+    )
+    if needed_segments <= 0:
+        return 1.0
+    in_flight = n_warps * MEMORY_ILP_PER_WARP
+    return float(min(1.0, in_flight / needed_segments))
+
+
+def streamed_bytes(logical_bytes: float, device: DeviceSpec) -> float:
+    """DRAM traffic for a fully coalesced sequential stream.
+
+    Sequential streams waste at most one partial segment at each end;
+    we round up to whole segments.
+    """
+    if logical_bytes < 0:
+        raise ValidationError("logical_bytes must be non-negative")
+    if logical_bytes == 0:
+        return 0.0
+    segments = -(-logical_bytes // device.segment_bytes)
+    return float(segments * device.segment_bytes)
+
+
+def segment_count(logical_bytes: float, device: DeviceSpec) -> int:
+    """Number of 128-byte segments a sequential stream occupies."""
+    if logical_bytes <= 0:
+        return 0
+    return int(-(-logical_bytes // device.segment_bytes))
+
+
+def random_access_bytes(
+    n_accesses: float, device: DeviceSpec, *, element_bytes: int = 4
+) -> float:
+    """DRAM traffic for scattered single-element accesses.
+
+    Each access that cannot coalesce with its neighbours moves one
+    minimum-size transaction (32 bytes on the C1060) even though only
+    ``element_bytes`` of it are useful.
+    """
+    if n_accesses < 0:
+        raise ValidationError("n_accesses must be non-negative")
+    per_access = max(device.min_transaction_bytes, element_bytes)
+    return float(n_accesses) * per_access
+
+
+def partition_histogram(
+    start_offsets: np.ndarray, device: DeviceSpec
+) -> np.ndarray:
+    """Histogram of which memory partition each start address hits.
+
+    Parameters
+    ----------
+    start_offsets:
+        Byte offsets (from the allocation base) at which concurrently
+        active warps begin streaming.
+    """
+    offsets = np.asarray(start_offsets, dtype=np.int64)
+    if offsets.ndim != 1:
+        raise ValidationError("start_offsets must be one-dimensional")
+    partitions = (
+        offsets % device.partition_stride_bytes
+    ) // device.partition_width_bytes
+    return np.bincount(partitions, minlength=device.memory_partitions)
+
+
+def partition_efficiency(
+    start_offsets: np.ndarray, device: DeviceSpec
+) -> float:
+    """Effective-bandwidth factor in ``[1/partitions, 1]``.
+
+    Partition camping happens when concurrently streaming warps stay *in
+    phase*: if every workload starts at the same offset modulo the
+    2048-byte partition stride, all warps hammer one partition at every
+    instant.  Random phases are harmless — each stream crosses
+    partitions every 256 bytes, so incidental collisions resolve.
+
+    The penalty therefore compares the busiest phase bucket against what
+    random placement of the same number of streams would produce
+    (mean + one deviation of a uniform multinomial); only the *excess*
+    concentration is punished, scaling down to ``1/partitions`` when all
+    streams share a phase.
+    """
+    offsets = np.asarray(start_offsets, dtype=np.int64)
+    parts = device.memory_partitions
+    if offsets.size < 2 * parts:
+        # Too few concurrent streams for queueing at a partition to be
+        # the bottleneck.
+        return 1.0
+    hist = partition_histogram(offsets, device)
+    total = int(hist.sum())
+    max_share = float(hist.max()) / total
+    mean = total / parts
+    expected_max = (mean + np.sqrt(2.0 * mean * np.log(parts))) / total
+    excess = max(0.0, max_share - min(1.0, expected_max))
+    if excess <= 0.0:
+        return 1.0
+    # Fully camped (max_share = 1, expected small) -> ~1/parts.
+    slowdown = 1.0 + (parts - 1) * excess
+    return float(max(1.0 / parts, 1.0 / slowdown))

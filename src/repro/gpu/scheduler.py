@@ -1,0 +1,119 @@
+"""Warp scheduling model.
+
+The kernels express their work as one *issue-cycle cost per warp*.  The
+scheduler folds those per-warp costs into a device-level compute time the
+same way the paper's own performance model does (Equation 1):
+
+* at most ``MAX_ACT_WARP/SM * NUM_SM`` warps are resident at once
+  (960 on the C1060 at full occupancy), so the warps are processed in
+  ``ceil(total / max_active)`` *iterations*;
+* within one iteration the 30 SMs share the load; the iteration cannot
+  finish before the mean per-SM load is drained, nor before the single
+  largest warp finishes (an SM that owns a straggler warp is busy at
+  least that long);
+* warps shorter than a latency floor cannot hide global-memory latency
+  (there is simply not enough work), which penalises kernels that spawn
+  hordes of tiny warps — the CSR-vector-on-short-rows pathology of
+  Observation 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gpu.spec import DeviceSpec
+
+__all__ = ["WarpSchedule", "schedule_warps"]
+
+
+@dataclass(frozen=True)
+class WarpSchedule:
+    """Result of scheduling a set of warps onto a device."""
+
+    #: Number of warps scheduled.
+    warp_count: int
+    #: Number of active-warp iterations (Equation 1 of the paper).
+    iterations: int
+    #: Total device compute time in seconds.
+    seconds: float
+    #: Sum of all warp issue cycles (no imbalance), for diagnostics.
+    ideal_cycles: float
+    #: Cycles after imbalance/straggler effects.
+    scheduled_cycles: float
+
+    @property
+    def imbalance(self) -> float:
+        """Scheduled over ideal cycles; 1.0 means perfectly balanced."""
+        if self.ideal_cycles <= 0:
+            return 1.0
+        return self.scheduled_cycles / max(self.ideal_cycles, 1e-30)
+
+
+def schedule_warps(
+    warp_cycles: np.ndarray,
+    device: DeviceSpec,
+    *,
+    latency_floor_cycles: float | None = None,
+    sort: bool = True,
+) -> WarpSchedule:
+    """Schedule warps with the given per-warp issue-cycle costs.
+
+    Parameters
+    ----------
+    warp_cycles:
+        Issue cycles each warp occupies on its SM (already including
+        divergence/serialization penalties computed by the kernel).
+    device:
+        Target device.
+    latency_floor_cycles:
+        Minimum effective cost of one warp.  Defaults to the device's
+        global-memory latency: a warp that does less work than one
+        memory round trip still occupies the machine for that long when
+        there is nothing else to overlap with.  The floor is applied
+        per-iteration only when occupancy is too low to hide latency.
+    sort:
+        Sort warps by descending cost before binning into iterations
+        (mirrors the paper's Algorithm 3, which walks rows in sorted
+        order).  Disable for pre-ordered inputs.
+    """
+    cycles = np.asarray(warp_cycles, dtype=np.float64).ravel()
+    if np.any(cycles < 0):
+        raise ValidationError("warp cycle costs must be non-negative")
+    if cycles.size == 0:
+        return WarpSchedule(0, 0, 0.0, 0.0, 0.0)
+    if sort:
+        cycles = np.sort(cycles)[::-1]
+
+    slots = device.max_active_warps
+    n_warps = cycles.size
+    iterations = int(-(-n_warps // slots))
+    ideal_cycles = float(cycles.sum())
+    if latency_floor_cycles is None:
+        latency_floor_cycles = device.global_latency_cycles
+
+    scheduled = 0.0
+    for start in range(0, n_warps, slots):
+        chunk = cycles[start : start + slots]
+        # Mean SM drain time for this iteration.
+        per_sm = chunk.sum() / device.sm_count
+        # Straggler: the SM holding the biggest warp is busy at least
+        # that long.
+        straggler = float(chunk[0]) if sort else float(chunk.max())
+        iter_cycles = max(per_sm, straggler)
+        # Latency hiding: with few resident warps per SM the memory
+        # latency of each warp is exposed rather than overlapped.
+        resident_per_sm = max(1.0, chunk.size / device.sm_count)
+        hiding = min(1.0, resident_per_sm / device.max_active_warps_per_sm)
+        exposed = latency_floor_cycles * (1.0 - hiding)
+        scheduled += iter_cycles + exposed
+    seconds = scheduled / device.clock_hz
+    return WarpSchedule(
+        warp_count=n_warps,
+        iterations=iterations,
+        seconds=seconds,
+        ideal_cycles=ideal_cycles,
+        scheduled_cycles=scheduled,
+    )

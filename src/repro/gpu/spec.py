@@ -1,0 +1,188 @@
+"""Device parameter sheets for the performance simulator.
+
+The defaults describe the NVIDIA Tesla C1060 the paper used (Appendix C):
+30 streaming multiprocessors with 8 scalar processors each (240 cores),
+4 GB of global memory, 102 GB/s peak bandwidth, a texture cache the paper
+empirically sized at 256 KB (tile width 64K single-precision floats), and
+global memory divided into 8 partitions of 256 bytes.
+
+The CPU sheet describes the Opteron X2 2218 host used for the CPU
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Bytes in one single-precision float; the paper runs everything in
+#: single precision (§4.1).
+FLOAT_BYTES = 4
+
+#: Bytes in one 32-bit index.
+INDEX_BYTES = 4
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural parameters of a simulated CUDA-class GPU.
+
+    Instances are immutable; use :meth:`scaled` to derive variants (for
+    example a device with a smaller memory for out-of-core experiments).
+    """
+
+    name: str = "tesla-c1060"
+    #: Number of streaming multiprocessors.
+    sm_count: int = 30
+    #: Scalar processors per SM (one warp instruction retires in
+    #: ``warp_size / sp_per_sm`` = 4 cycles).
+    sp_per_sm: int = 8
+    #: Threads per warp.
+    warp_size: int = 32
+    #: Core clock in Hz.
+    clock_hz: float = 1.296e9
+    #: Maximum warps resident on one SM (full occupancy).
+    max_active_warps_per_sm: int = 32
+    #: Maximum threads per block (512 = 16 warps on Tesla).
+    max_threads_per_block: int = 512
+    #: Peak global memory bandwidth in bytes/second.
+    global_bandwidth: float = 102e9
+    #: Global memory access latency in cycles.
+    global_latency_cycles: float = 550.0
+    #: Global memory capacity in bytes.
+    global_memory_bytes: int = 4 * 1024**3
+    #: Texture cache capacity in bytes (the paper estimated 256 KB by
+    #: benchmarking, §3.1 Solution 1).
+    texture_cache_bytes: int = 256 * 1024
+    #: Texture cache line size in bytes.
+    texture_line_bytes: int = 32
+    #: Coalescing segment size for 4-byte words (Appendix A).
+    segment_bytes: int = 128
+    #: Smallest global-memory transaction for a scattered access.
+    min_transaction_bytes: int = 32
+    #: Number of global memory partitions (Appendix A).
+    memory_partitions: int = 8
+    #: Width of one memory partition in bytes.
+    partition_width_bytes: int = 256
+    #: Fixed cost of launching one kernel, in seconds.
+    kernel_launch_seconds: float = 7e-6
+    #: Host-to-device PCI-Express bandwidth in bytes/second (§3.2).
+    pcie_bandwidth: float = 8e9
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def max_active_warps(self) -> int:
+        """Device-wide active warp budget (960 on the Tesla C1060)."""
+        return self.sm_count * self.max_active_warps_per_sm
+
+    @property
+    def cycles_per_warp_instruction(self) -> int:
+        """Issue cycles one warp instruction occupies on an SM."""
+        return self.warp_size // self.sp_per_sm
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak single-precision FLOP/s assuming one FMA per SP per cycle."""
+        return self.sm_count * self.sp_per_sm * 2 * self.clock_hz
+
+    @property
+    def texture_cache_lines(self) -> int:
+        """Number of lines in the texture cache."""
+        return self.texture_cache_bytes // self.texture_line_bytes
+
+    @property
+    def tile_width_columns(self) -> int:
+        """Matrix-tile width, in columns, such that one ``x`` segment
+        exactly fills the texture cache (64K columns on the C1060)."""
+        return self.texture_cache_bytes // FLOAT_BYTES
+
+    @property
+    def partition_stride_bytes(self) -> int:
+        """Bytes after which addresses wrap to the same partition
+        (2048 bytes = 512 floats on the C1060, §3.1)."""
+        return self.memory_partitions * self.partition_width_bytes
+
+    def scaled(self, **overrides) -> "DeviceSpec":
+        """Return a copy of this spec with selected fields replaced."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Factory methods
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def tesla_c1060(cls) -> "DeviceSpec":
+        """The device the paper evaluated on."""
+        return cls()
+
+    @classmethod
+    def small_test_device(cls) -> "DeviceSpec":
+        """A deliberately tiny device for unit tests.
+
+        Two-thread warps and a texture cache that holds a handful of
+        floats make hand-checked examples (like Figure 1 of the paper)
+        tractable.
+        """
+        return cls(
+            name="test-device",
+            sm_count=2,
+            sp_per_sm=1,
+            warp_size=2,
+            clock_hz=1e6,
+            max_active_warps_per_sm=4,
+            max_threads_per_block=8,
+            global_bandwidth=1e6,
+            global_latency_cycles=10.0,
+            global_memory_bytes=1 << 20,
+            texture_cache_bytes=16,
+            texture_line_bytes=4,
+            segment_bytes=8,
+            min_transaction_bytes=4,
+            memory_partitions=2,
+            partition_width_bytes=8,
+            kernel_launch_seconds=1e-5,
+            pcie_bandwidth=1e6,
+        )
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Parameters of the CPU baseline host (Opteron X2 2218, one core).
+
+    The paper's CPU numbers are for a ``gcc``-compiled single-threaded CSR
+    kernel, which on power-law matrices is dominated by cache misses on
+    ``x``; the sheet therefore carries an L2 cache and DRAM figures.
+    """
+
+    name: str = "opteron-2218"
+    clock_hz: float = 2.6e9
+    #: Sustainable FLOPs per cycle for scalar SpMV inner loops.
+    flops_per_cycle: float = 1.0
+    #: L2 cache capacity in bytes (1 MB per core on the Opteron 2218).
+    l2_cache_bytes: int = 1024 * 1024
+    #: Cache line size in bytes.
+    cache_line_bytes: int = 64
+    #: Sustained DRAM bandwidth in bytes/second for streaming accesses.
+    dram_bandwidth: float = 6.4e9
+    #: DRAM access latency in seconds (~75 ns loaded).
+    dram_latency_seconds: float = 75e-9
+    #: How many outstanding misses the core overlaps (hardware
+    #: prefetchers + out-of-order window of the Opteron).
+    memory_level_parallelism: float = 4.0
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FLOP/s of one core for this workload class."""
+        return self.clock_hz * self.flops_per_cycle
+
+    @property
+    def l2_cache_lines(self) -> int:
+        """Number of lines in the L2 cache."""
+        return self.l2_cache_bytes // self.cache_line_bytes
+
+    @classmethod
+    def opteron_2218(cls) -> "CPUSpec":
+        """The host CPU the paper compared against."""
+        return cls()

@@ -1,0 +1,48 @@
+"""Synthetic dataset substrate.
+
+The paper evaluates on proprietary crawls (Flickr, LiveJournal,
+Wikipedia, Youtube, Webbase; it-2004, sk-2005, uk-union, web-2001) and
+on unstructured matrices from NVIDIA's SpMV suite.  None of those can be
+shipped here, so this package generates structural analogues:
+
+* :mod:`repro.graphs.rmat` — recursive-matrix (R-MAT) power-law graphs,
+* :mod:`repro.graphs.chung_lu` — expected-degree-sequence power-law
+  graphs with controllable exponent,
+* :mod:`repro.graphs.synthetic` — dense / circuit / FEM / LP / protein
+  matrix analogues,
+* :mod:`repro.graphs.datasets` — a registry mapping the paper's dataset
+  names to scaled generators with matched shape statistics,
+* :mod:`repro.graphs.stats` — power-law fitting and skew diagnostics
+  used to validate that the analogues have the structure the paper's
+  optimisations exploit.
+"""
+
+from repro.graphs import datasets, stats
+from repro.graphs.chung_lu import chung_lu_graph, powerlaw_weights
+from repro.graphs.datasets import Dataset, list_datasets, load, matched_device
+from repro.graphs.rmat import rmat_edges, rmat_graph
+from repro.graphs.synthetic import (
+    circuit_matrix,
+    dense_matrix,
+    fem_matrix,
+    lp_matrix,
+    protein_matrix,
+)
+
+__all__ = [
+    "Dataset",
+    "chung_lu_graph",
+    "circuit_matrix",
+    "datasets",
+    "dense_matrix",
+    "fem_matrix",
+    "list_datasets",
+    "load",
+    "lp_matrix",
+    "matched_device",
+    "powerlaw_weights",
+    "protein_matrix",
+    "rmat_edges",
+    "rmat_graph",
+    "stats",
+]

@@ -1,0 +1,5 @@
+"""Matrix I/O utilities."""
+
+from repro.io.matrix_market import read_matrix_market, write_matrix_market
+
+__all__ = ["read_matrix_market", "write_matrix_market"]

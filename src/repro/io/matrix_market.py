@@ -1,0 +1,80 @@
+"""Minimal MatrixMarket coordinate-format reader/writer.
+
+Supports the ``matrix coordinate real|integer|pattern general|symmetric``
+headers, which covers the public distribution format of the paper's
+datasets (UF collection / LAW crawls are shipped as ``.mtx``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.formats.coo import COOMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_HEADER_PREFIX = "%%MatrixMarket"
+
+
+def read_matrix_market(path: str | Path) -> COOMatrix:
+    """Read a coordinate MatrixMarket file into a COO matrix."""
+    path = Path(path)
+    with path.open("r", encoding="ascii") as handle:
+        header = handle.readline().strip()
+        parts = header.split()
+        if len(parts) < 4 or parts[0] != _HEADER_PREFIX:
+            raise ValidationError(f"not a MatrixMarket file: {header!r}")
+        _, obj, fmt, field, *rest = parts + [""]
+        symmetry = rest[0].lower() if rest and rest[0] else "general"
+        if obj.lower() != "matrix" or fmt.lower() != "coordinate":
+            raise ValidationError(
+                "only 'matrix coordinate' files are supported"
+            )
+        field = field.lower()
+        if field not in ("real", "integer", "pattern"):
+            raise ValidationError(f"unsupported field type {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise ValidationError(f"unsupported symmetry {symmetry!r}")
+
+        line = handle.readline()
+        while line.startswith("%"):
+            line = handle.readline()
+        try:
+            n_rows, n_cols, nnz = (int(tok) for tok in line.split())
+        except ValueError as exc:
+            raise ValidationError(f"bad size line: {line!r}") from exc
+
+        body = np.loadtxt(handle, ndmin=2) if nnz else np.zeros((0, 3))
+    if body.shape[0] != nnz:
+        raise ValidationError(
+            f"expected {nnz} entries, found {body.shape[0]}"
+        )
+    rows = body[:, 0].astype(np.int64) - 1
+    cols = body[:, 1].astype(np.int64) - 1
+    if field == "pattern":
+        data = np.ones(nnz)
+    else:
+        data = body[:, 2].astype(np.float64)
+    if symmetry == "symmetric":
+        off_diag = rows != cols
+        mirror_rows, mirror_cols = cols[off_diag], rows[off_diag]
+        rows = np.concatenate([rows, mirror_rows])
+        cols = np.concatenate([cols, mirror_cols])
+        data = np.concatenate([data, data[off_diag]])
+    return COOMatrix.from_unsorted(
+        rows, cols, data, (n_rows, n_cols), sum_duplicates=False
+    )
+
+
+def write_matrix_market(matrix: COOMatrix, path: str | Path) -> None:
+    """Write a COO matrix as ``matrix coordinate real general``."""
+    path = Path(path)
+    coo = matrix.to_coo()
+    with path.open("w", encoding="ascii") as handle:
+        handle.write("%%MatrixMarket matrix coordinate real general\n")
+        handle.write(f"{coo.n_rows} {coo.n_cols} {coo.nnz}\n")
+        for r, c, v in zip(coo.rows, coo.cols, coo.data):
+            handle.write(f"{r + 1} {c + 1} {v:.17g}\n")

@@ -1,0 +1,49 @@
+"""Calibration constants of the kernel cost models.
+
+These are the small number of machine- and code-generation constants the
+analytic models need.  They were set once against the absolute anchor
+points the paper reports (dense-matrix tile-composite at ~17.6 GFLOPS /
+105 GB/s algorithmic bandwidth, CPU PageRank on Flickr at ~24 s) and are
+*not* tuned per dataset — every relative result in the benchmarks
+emerges from the modelled mechanisms.
+
+Instruction counts are per warp *instruction* (one instruction = 4 issue
+cycles on the Tesla's 8-SP SMs); they approximate the inner loops of the
+CUDA kernels in Bell & Garland's library.
+"""
+
+from __future__ import annotations
+
+#: Fraction of peak DRAM bandwidth a fully coalesced stream sustains
+#: (DDR efficiency; the paper's dense result implies ~0.7 on the C1060).
+STREAM_EFFICIENCY = 0.7
+
+#: Instructions to process one stride of matrix elements in a streaming
+#: inner loop (load index, load value, texture fetch, FMA, loop bookkeeping).
+INSTR_PER_STRIDE = 5
+
+#: Fixed instructions per warp (prologue/epilogue, final write).
+INSTR_FIXED = 12
+
+#: Instructions of one warp-wide binary reduction (5 steps x shuffle+add
+#: on a 32-wide warp).
+INSTR_REDUCTION = 10
+
+#: Extra serialized instructions per row boundary inside a COO reduction
+#: stride (the divergence penalty of Observation 3).
+INSTR_COO_BOUNDARY = 8
+
+#: Instructions per stride of the COO kernel on top of the plain
+#: streaming cost (segment flags, carry handling).
+INSTR_COO_STRIDE = 10
+
+#: Additional instructions per texture fetch that misses the cache
+#: (issued again after the long-latency fetch returns).
+INSTR_MISS_REPLAY = 2
+
+#: Number of warps the COO kernel launches (one grid filling the device).
+COO_GRID_WARPS_FACTOR = 1.0  # x device.max_active_warps
+
+#: Bandwidth efficiency of half-warp (64-byte) memory requests relative
+#: to full 128-byte segments; the BSK & BDW kernel issues these.
+HALF_WARP_EFFICIENCY = 0.9

@@ -1,0 +1,74 @@
+"""HYB kernel: ELL head + COO tail, NVIDIA's best on power-law data.
+
+The cost is the sum of one ELL pass over the regular head and one COO
+pass over the spill, each launched separately with its own texture
+binding (so each pass sees its own column-access distribution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import SparseMatrix
+from repro.formats.hyb import HYBMatrix
+from repro.gpu.costs import CostReport
+from repro.gpu.spec import DeviceSpec
+from repro.kernels.base import SpMVKernel, register
+from repro.kernels.coo import coo_cost_report
+from repro.kernels.ell import ell_cost_report
+from repro.kernels.xaccess import untiled_x_cost
+
+__all__ = ["HYBKernel"]
+
+
+@register("hyb")
+class HYBKernel(SpMVKernel):
+    """Bell & Garland's hybrid kernel."""
+
+    def __init__(
+        self,
+        matrix: SparseMatrix,
+        *,
+        device: DeviceSpec | None = None,
+        ell_width: int | None = None,
+    ) -> None:
+        super().__init__(matrix, device=device)
+        self.hyb = HYBMatrix.from_coo(self.coo, ell_width=ell_width)
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        return self.hyb.spmv(x)
+
+    def _compute_cost(self) -> CostReport:
+        device = self.device
+        ell = self.hyb.ell
+        tail = self.hyb.coo
+        reports = []
+        if ell.width > 0 and ell.n_rows > 0:
+            ell_cols = np.bincount(
+                ell.indices[ell.valid], minlength=self.coo.n_cols
+            ) if ell.nnz else np.zeros(self.coo.n_cols)
+            reports.append(
+                ell_cost_report(
+                    "hyb-ell",
+                    n_rows=ell.n_rows,
+                    width=ell.width,
+                    nnz=ell.nnz,
+                    x_cost=untiled_x_cost(ell_cols, device),
+                    device=device,
+                )
+            )
+        if tail.nnz:
+            reports.append(
+                coo_cost_report(
+                    "hyb-coo",
+                    rows=tail.rows,
+                    nnz=tail.nnz,
+                    n_rows=tail.n_rows,
+                    x_cost=untiled_x_cost(tail.col_lengths(), device),
+                    device=device,
+                )
+            )
+        if not reports:
+            return CostReport.zero("hyb")
+        total = sum(reports, CostReport.zero())
+        return total.relabel("hyb")

@@ -1,0 +1,79 @@
+"""Cost of reading the input vector ``x`` through the texture unit.
+
+This is the heart of the paper's Observation 1: accesses to ``x`` are
+random (column indices of a power-law row are scattered), the texture
+cache is far smaller than ``x``, and every miss is a long-latency,
+uncoalesced global-memory transaction.
+
+Two models:
+
+* :func:`untiled_x_cost` — the whole of ``x`` bound to the texture, as in
+  NVIDIA's kernels.  Hit rate from Che's approximation over the actual
+  column-degree distribution.
+* :func:`tiled_x_cost` — the paper's tiling: the tile's ``x`` segment
+  fits in the cache, leaving only compulsory misses (one per distinct
+  line the tile touches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.cache import line_access_counts, overall_hit_rate
+from repro.gpu.spec import FLOAT_BYTES, DeviceSpec
+
+__all__ = ["XAccessCost", "tiled_x_cost", "untiled_x_cost"]
+
+
+@dataclass(frozen=True)
+class XAccessCost:
+    """Outcome of modelling the x-vector accesses of one kernel/tile."""
+
+    #: Number of x reads (one per non-zero processed).
+    accesses: int
+    #: Texture-cache hit rate in [0, 1].
+    hit_rate: float
+    #: DRAM traffic caused by the misses, in bytes.
+    dram_bytes: float
+
+    @property
+    def misses(self) -> float:
+        return self.accesses * (1.0 - self.hit_rate)
+
+
+def untiled_x_cost(
+    col_counts: np.ndarray, device: DeviceSpec
+) -> XAccessCost:
+    """x-read cost with all of ``x`` texture-bound (NVIDIA's scheme)."""
+    counts = np.asarray(col_counts, dtype=np.float64)
+    accesses = int(counts.sum())
+    if accesses == 0:
+        return XAccessCost(0, 0.0, 0.0)
+    floats_per_line = device.texture_line_bytes // FLOAT_BYTES
+    lines = line_access_counts(counts, floats_per_line)
+    hit = overall_hit_rate(lines, device.texture_cache_lines)
+    misses = accesses * (1.0 - hit)
+    return XAccessCost(accesses, hit, misses * device.texture_line_bytes)
+
+
+def tiled_x_cost(
+    col_counts: np.ndarray, device: DeviceSpec
+) -> XAccessCost:
+    """x-read cost within one tile whose segment fits in the cache.
+
+    ``col_counts`` are the access counts of the tile's own column range
+    (length at most ``device.tile_width_columns``).  Only compulsory
+    misses remain: one per distinct line with at least one access.
+    """
+    counts = np.asarray(col_counts, dtype=np.float64)
+    accesses = int(counts.sum())
+    if accesses == 0:
+        return XAccessCost(0, 0.0, 0.0)
+    floats_per_line = device.texture_line_bytes // FLOAT_BYTES
+    lines = line_access_counts(counts, floats_per_line)
+    distinct = int(np.count_nonzero(lines))
+    distinct = min(distinct, accesses)
+    hit = 1.0 - distinct / accesses
+    return XAccessCost(accesses, hit, distinct * device.texture_line_bytes)

@@ -1,0 +1,31 @@
+"""Graph-mining algorithms on the SpMV kernels (paper §4.2, Appendix F).
+
+PageRank, HITS and Random Walk with Restart are all power methods whose
+per-iteration time is dominated by one SpMV; each implementation here
+pairs the exact iteration (NumPy) with a simulated cost assembled from
+the chosen SpMV kernel plus the small vector kernels (reductions,
+axpy-style updates) the paper also implements on the GPU.
+"""
+
+from repro.mining.hits import HITSResult, hits
+from repro.mining.pagerank import PageRankResult, pagerank
+from repro.mining.power_method import MiningResult
+from repro.mining.rwr import RWRResult, random_walk_with_restart
+from repro.mining.vector_kernels import (
+    axpy_cost,
+    reduction_cost,
+    scale_cost,
+)
+
+__all__ = [
+    "HITSResult",
+    "MiningResult",
+    "PageRankResult",
+    "RWRResult",
+    "axpy_cost",
+    "hits",
+    "pagerank",
+    "random_walk_with_restart",
+    "reduction_cost",
+    "scale_cost",
+]

@@ -1,0 +1,106 @@
+"""HITS via the power method (paper Appendix F, Equations 7–8).
+
+The two coupled updates are rewritten as one SpMV on the combined
+``2|V| x 2|V|`` matrix
+
+.. math:: \\begin{bmatrix} 0 & A^T \\\\ A & 0 \\end{bmatrix}
+
+"Combining the two matrices into one ... results in a larger and
+sparser matrix making it more amenable to our optimizations" — the
+paper's explanation for why even Youtube speeds up under HITS.
+Each iteration runs one SpMV, two half-vector normalisations (one
+reduction + one scale each) and one convergence reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix
+from repro.formats.coo import COOMatrix
+from repro.gpu.spec import DeviceSpec
+from repro.kernels.base import SpMVKernel, create
+from repro.mining.power_method import MiningResult, l1_delta
+from repro.mining.vector_kernels import reduction_cost, scale_cost
+
+__all__ = ["HITSResult", "hits", "hits_operator"]
+
+HITSResult = MiningResult
+
+
+def hits_operator(adjacency: COOMatrix) -> COOMatrix:
+    """The combined ``[[0, A^T], [A, 0]]`` block matrix."""
+    if adjacency.n_rows != adjacency.n_cols:
+        raise ValidationError("HITS needs a square adjacency matrix")
+    n = adjacency.n_rows
+    # Top-right block: A^T at rows [0, n), columns [n, 2n).
+    top_rows = adjacency.cols
+    top_cols = adjacency.rows + n
+    # Bottom-left block: A at rows [n, 2n), columns [0, n).
+    bottom_rows = adjacency.rows + n
+    bottom_cols = adjacency.cols
+    return COOMatrix.from_unsorted(
+        np.concatenate([top_rows, bottom_rows]),
+        np.concatenate([top_cols, bottom_cols]),
+        np.concatenate([adjacency.data, adjacency.data]),
+        (2 * n, 2 * n),
+        sum_duplicates=False,
+    )
+
+
+def hits(
+    adjacency: SparseMatrix,
+    *,
+    kernel: str | SpMVKernel = "hyb",
+    device: DeviceSpec | None = None,
+    tol: float = 1e-8,
+    max_iter: int = 200,
+    **kernel_options,
+) -> MiningResult:
+    """Run HITS; the result vector holds authorities then hubs.
+
+    Authority scores are ``vector[:n]``, hub scores ``vector[n:]``; each
+    half is normalised to sum to 1 every iteration, as in the paper.
+    """
+    coo = adjacency.to_coo()
+    n = coo.n_rows
+    operator = hits_operator(coo)
+    if isinstance(kernel, SpMVKernel):
+        spmv = kernel
+    else:
+        spmv = create(kernel, operator, device=device, **kernel_options)
+    v = np.full(2 * n, 1.0 / n)
+    iterations = 0
+    converged = False
+    for iterations in range(1, max_iter + 1):
+        new_v = spmv.spmv(v)
+        for half in (slice(0, n), slice(n, 2 * n)):
+            total = new_v[half].sum()
+            if total > 0:
+                new_v[half] /= total
+        delta = l1_delta(new_v, v)
+        v = new_v
+        if delta < tol:
+            converged = True
+            break
+    dev = spmv.device
+    per_iteration = (
+        spmv.cost()
+        + reduction_cost(n, dev)  # authority normalisation sum
+        + reduction_cost(n, dev)  # hub normalisation sum
+        + scale_cost(n, dev)      # authority division
+        + scale_cost(n, dev)      # hub division
+        + reduction_cost(2 * n, dev)  # convergence check
+    ).relabel(f"hits/{spmv.name}")
+    total_cost = per_iteration.scaled(iterations).relabel(per_iteration.label)
+    return MiningResult(
+        algorithm="hits",
+        kernel_name=spmv.name,
+        vector=v,
+        iterations=iterations,
+        converged=converged,
+        per_iteration=per_iteration,
+        total_cost=total_cost,
+        extra={"n": n, "tol": tol},
+    )

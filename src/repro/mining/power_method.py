@@ -1,0 +1,59 @@
+"""Shared power-method infrastructure for the mining algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.gpu.costs import CostReport
+
+__all__ = ["MiningResult", "l1_delta"]
+
+
+def l1_delta(new: np.ndarray, old: np.ndarray) -> float:
+    """L1 distance between successive iterates (the convergence check
+    the GPU implementations realise with a parallel reduction)."""
+    return float(np.abs(new - old).sum())
+
+
+@dataclass
+class MiningResult:
+    """Outcome of an iterative mining run.
+
+    ``total_cost`` is the simulated GPU (or CPU) time of the whole run:
+    the per-iteration cost scaled by the realised iteration count.  The
+    paper's Tables 1/4/5 report exactly this total; Figures 3/8 report
+    the per-iteration GFLOPS/GB/s, available via ``per_iteration``.
+    """
+
+    algorithm: str
+    kernel_name: str
+    vector: np.ndarray
+    iterations: int
+    converged: bool
+    per_iteration: CostReport
+    total_cost: CostReport
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return self.total_cost.time_seconds
+
+    @property
+    def gflops(self) -> float:
+        return self.per_iteration.gflops
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        return self.per_iteration.bandwidth_gbs
+
+    def require_converged(self) -> "MiningResult":
+        """Raise unless the run converged (for strict callers)."""
+        if not self.converged:
+            raise ConvergenceError(
+                f"{self.algorithm} with {self.kernel_name} did not "
+                f"converge in {self.iterations} iterations"
+            )
+        return self

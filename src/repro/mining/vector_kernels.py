@@ -1,0 +1,50 @@
+"""Simulated costs of the auxiliary vector kernels.
+
+Appendix F: "Each iteration of our HITS implementation involves one
+SpMV kernel, three parallel reduction kernels ... and two vector
+division by constant kernels.  The vector division by constant kernel
+can be implemented very efficiently in the same way as vector addition."
+These kernels are trivially bandwidth-bound streams; only their byte
+traffic and launch overheads matter.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.costs import CostReport
+from repro.gpu.launch import kernel_launch_seconds
+from repro.gpu.memory import streamed_bytes
+from repro.gpu.spec import DeviceSpec
+from repro.kernels import calibration as cal
+
+__all__ = ["axpy_cost", "reduction_cost", "scale_cost"]
+
+
+def _stream_report(
+    label: str, logical_bytes: float, device: DeviceSpec, launches: int = 1
+) -> CostReport:
+    return CostReport.from_tallies(
+        label,
+        device=device,
+        flops=0.0,
+        algorithmic_bytes=logical_bytes,
+        dram_bytes=streamed_bytes(logical_bytes, device),
+        compute_seconds=0.0,
+        overhead_seconds=kernel_launch_seconds(launches, device),
+        bandwidth_efficiency=cal.STREAM_EFFICIENCY,
+    )
+
+
+def reduction_cost(n: int, device: DeviceSpec) -> CostReport:
+    """Parallel reduction of an ``n``-vector (two-pass tree)."""
+    return _stream_report("reduction", 4 * n + 4 * (n // 256 + 1),
+                          device, launches=2)
+
+
+def axpy_cost(n: int, device: DeviceSpec) -> CostReport:
+    """``y = a*x + b*z`` style element-wise update: 2 reads + 1 write."""
+    return _stream_report("axpy", 12 * n, device)
+
+
+def scale_cost(n: int, device: DeviceSpec) -> CostReport:
+    """``y = x / c`` (vector division by constant): 1 read + 1 write."""
+    return _stream_report("scale", 8 * n, device)

@@ -1,0 +1,39 @@
+"""Multi-GPU SpMV for out-of-core matrices (paper §3.2, §4.3).
+
+The matrix is partitioned by rows with *bitonic partitioning* (balanced
+row counts → balanced communication, balanced non-zeros → balanced
+compute); each simulated node runs any single-GPU kernel on its local
+slice and every iteration broadcasts its local ``y`` so that all nodes
+can refresh their copy of ``x``.
+"""
+
+from repro.multigpu.bitonic import (
+    bitonic_partition,
+    contiguous_partition,
+    partition_balance,
+)
+from repro.multigpu.cluster import (
+    ClusterSpec,
+    MultiGPUReport,
+    distributed_pagerank,
+    simulate_spmv,
+)
+from repro.multigpu.network import NetworkSpec, allgather_seconds
+from repro.multigpu.out_of_core import (
+    OutOfCoreReport,
+    simulate_chunked_single_gpu,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "MultiGPUReport",
+    "NetworkSpec",
+    "OutOfCoreReport",
+    "allgather_seconds",
+    "bitonic_partition",
+    "contiguous_partition",
+    "distributed_pagerank",
+    "partition_balance",
+    "simulate_chunked_single_gpu",
+    "simulate_spmv",
+]

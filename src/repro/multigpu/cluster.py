@@ -1,0 +1,231 @@
+"""Multi-GPU cluster simulation (§3.2, §4.3).
+
+Each node holds a row-slice of the matrix (all columns — it needs the
+whole ``x``), runs a single-GPU SpMV kernel on it, then all nodes
+allgather their ``y`` slices.  "Any SpMV kernel can be plugged into this
+multi-GPU framework"; the rows and columns of each partition of a
+power-law matrix also follow a power law, so the tile-composite kernel
+remains a good local kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DeviceMemoryError, ValidationError
+from repro.formats.base import SparseMatrix
+from repro.gpu.costs import CostReport
+from repro.gpu.spec import DeviceSpec
+from repro.kernels.base import SpMVKernel, create
+from repro.mining.pagerank import pagerank_operator
+from repro.mining.power_method import l1_delta
+from repro.mining.vector_kernels import axpy_cost, reduction_cost
+from repro.multigpu.bitonic import bitonic_partition, contiguous_partition
+from repro.multigpu.network import NetworkSpec, allgather_seconds
+
+__all__ = [
+    "ClusterSpec",
+    "MultiGPUReport",
+    "distributed_pagerank",
+    "simulate_spmv",
+]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous multi-GPU cluster (one GPU used per node, as in
+    the paper's experiments)."""
+
+    n_gpus: int
+    device: DeviceSpec = field(default_factory=DeviceSpec.tesla_c1060)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    #: Override of per-GPU usable memory (bytes); ``None`` uses the
+    #: device sheet.  The Figure 4 bench scales this down with the
+    #: datasets so the "fits only on >= k GPUs" constraint carries over.
+    gpu_memory_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 1:
+            raise ValidationError("n_gpus must be >= 1")
+
+    @property
+    def memory_limit(self) -> int:
+        if self.gpu_memory_bytes is not None:
+            return self.gpu_memory_bytes
+        return self.device.global_memory_bytes
+
+
+@dataclass
+class MultiGPUReport:
+    """Per-iteration profile of a distributed SpMV (or PageRank)."""
+
+    n_gpus: int
+    kernel_name: str
+    nnz: int
+    n_rows: int
+    #: Per-node simulated SpMV reports.
+    node_reports: list[CostReport]
+    #: Exposed allgather time per iteration.
+    comm_seconds: float
+    #: Extra per-iteration vector-kernel time (PageRank updates etc.).
+    vector_seconds: float = 0.0
+    iterations: int = 1
+
+    @property
+    def compute_seconds(self) -> float:
+        """Slowest node's kernel time (the iteration barrier)."""
+        return max(r.time_seconds for r in self.node_reports)
+
+    @property
+    def iteration_seconds(self) -> float:
+        return self.compute_seconds + self.comm_seconds + self.vector_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return self.iteration_seconds * self.iterations
+
+    @property
+    def gflops(self) -> float:
+        if self.iteration_seconds <= 0:
+            return 0.0
+        return 2 * self.nnz / self.iteration_seconds / 1e9
+
+    def speedup_over(self, baseline: "MultiGPUReport") -> float:
+        """Wall-clock speedup of this run over a baseline run."""
+        return baseline.iteration_seconds / self.iteration_seconds
+
+    def parallel_efficiency(self, baseline: "MultiGPUReport") -> float:
+        """Efficiency relative to ideal scaling from the baseline GPU
+        count (the paper quotes efficiency from the smallest feasible
+        configuration)."""
+        ideal = self.n_gpus / baseline.n_gpus
+        return self.speedup_over(baseline) / ideal
+
+
+def required_device_bytes(n_rows: int, n_cols: int, nnz: int) -> int:
+    """Bytes a node's local problem occupies on one GPU.
+
+    The raw edge staging (12 bytes per non-zero: row, column, value)
+    plus the full ``x`` and the local ``y``.  Feasibility is judged on
+    this format-independent footprint so every kernel's scaling line
+    starts at the same GPU count, as in the paper's Figure 4.
+    """
+    return int(12 * nnz + 4 * n_cols + 4 * n_rows)
+
+
+def _matrix_device_bytes(kernel: SpMVKernel) -> int:
+    """Kernel-specific storage diagnostic: built format + x + y."""
+    stored = None
+    for attr in ("matrix", "hyb", "csr", "ell", "dia", "pkt"):
+        candidate = getattr(kernel, attr, None)
+        if candidate is not None and hasattr(candidate, "nbytes"):
+            stored = candidate.nbytes
+            break
+    if stored is None:
+        stored = 12 * kernel.nnz  # COO-equivalent fallback
+    n_rows, n_cols = kernel.shape
+    return int(stored + 4 * n_cols + 4 * n_rows)
+
+
+def simulate_spmv(
+    matrix: SparseMatrix,
+    cluster: ClusterSpec,
+    *,
+    kernel: str = "tile-composite",
+    partition: str = "bitonic",
+    check_memory: bool = True,
+    **kernel_options,
+) -> MultiGPUReport:
+    """Partition the matrix and simulate one distributed SpMV iteration.
+
+    Raises :class:`DeviceMemoryError` when any node's slice exceeds the
+    per-GPU memory limit — the constraint that forces sk-2005 onto >= 3
+    and uk-union onto >= 6 GPUs in the paper.
+    """
+    coo = matrix.to_coo()
+    row_lengths = coo.row_lengths()
+    if partition == "bitonic":
+        assignment = bitonic_partition(row_lengths, cluster.n_gpus)
+    elif partition == "contiguous":
+        assignment = contiguous_partition(coo.n_rows, cluster.n_gpus)
+    else:
+        raise ValidationError(
+            f"unknown partition scheme {partition!r}; "
+            "expected 'bitonic' or 'contiguous'"
+        )
+    node_reports: list[CostReport] = []
+    for node in range(cluster.n_gpus):
+        local_rows = np.nonzero(assignment == node)[0]
+        local = coo.select_rows(local_rows)
+        if check_memory:
+            needed = required_device_bytes(
+                local.n_rows, local.n_cols, local.nnz
+            )
+            if needed > cluster.memory_limit:
+                raise DeviceMemoryError(
+                    f"node {node} needs {needed / 1e6:.1f} MB but the GPU "
+                    f"limit is {cluster.memory_limit / 1e6:.1f} MB; use "
+                    "more GPUs"
+                )
+        node_kernel = create(
+            kernel, local, device=cluster.device, **kernel_options
+        )
+        node_reports.append(node_kernel.cost())
+    comm = allgather_seconds(
+        4 * coo.n_rows, cluster.n_gpus, cluster.network
+    )
+    return MultiGPUReport(
+        n_gpus=cluster.n_gpus,
+        kernel_name=kernel,
+        nnz=coo.nnz,
+        n_rows=coo.n_rows,
+        node_reports=node_reports,
+        comm_seconds=comm,
+    )
+
+
+def distributed_pagerank(
+    adjacency: SparseMatrix,
+    cluster: ClusterSpec,
+    *,
+    kernel: str = "tile-composite",
+    damping: float = 0.85,
+    tol: float = 1e-8,
+    max_iter: int = 200,
+    check_memory: bool = True,
+    **kernel_options,
+) -> tuple[np.ndarray, MultiGPUReport]:
+    """PageRank on the cluster: returns the converged vector and the
+    per-iteration profile with the realised iteration count."""
+    coo = adjacency.to_coo()
+    operator = pagerank_operator(coo)
+    report = simulate_spmv(
+        operator,
+        cluster,
+        kernel=kernel,
+        check_memory=check_memory,
+        **kernel_options,
+    )
+    # The distributed iteration is numerically identical to the
+    # single-node one (row partitioning is a pure data layout), so the
+    # vector/iteration count come from the exact sequential recurrence.
+    n = operator.n_rows
+    p0 = np.full(n, 1.0 / n)
+    p = p0.copy()
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        new_p = damping * operator.spmv(p) + (1.0 - damping) * p0
+        delta = l1_delta(new_p, p)
+        p = new_p
+        if delta < tol:
+            break
+    device = cluster.device
+    vector = (
+        axpy_cost(n // cluster.n_gpus + 1, device)
+        + reduction_cost(n // cluster.n_gpus + 1, device)
+    )
+    report.vector_seconds = vector.time_seconds
+    report.iterations = iterations
+    return p, report

@@ -1,0 +1,56 @@
+"""Interconnect model for the MPI cluster.
+
+Per iteration every node broadcasts its local result slice so all nodes
+can rebuild ``x`` — an allgather of the full ``n``-float vector.  The
+model is a ring allgather (P-1 steps of ``n/P`` floats) with per-step
+latency, plus a configurable compute/communication overlap factor
+(MPI progress overlapped with kernel execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["NetworkSpec", "allgather_seconds"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Cluster interconnect parameters (calibrated to the paper's
+    70-80 % parallel efficiencies on an InfiniBand-class fabric)."""
+
+    name: str = "ib-ddr"
+    #: Point-to-point bandwidth in bytes/second.
+    bandwidth: float = 6e9
+    #: Per-message latency in seconds.
+    latency: float = 5e-6
+    #: Fraction of communication hidden under compute (0 = fully
+    #: exposed, 1 = fully overlapped).
+    overlap: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValidationError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ValidationError("latency must be non-negative")
+        if not 0 <= self.overlap < 1:
+            raise ValidationError("overlap must be in [0, 1)")
+
+
+def allgather_seconds(
+    vector_bytes: float, n_parts: int, network: NetworkSpec
+) -> float:
+    """Ring allgather of a ``vector_bytes`` vector over ``n_parts``
+    nodes (exposed portion, after overlap)."""
+    if n_parts < 1:
+        raise ValidationError("n_parts must be >= 1")
+    if vector_bytes < 0:
+        raise ValidationError("vector_bytes must be non-negative")
+    if n_parts == 1:
+        return 0.0
+    per_step_bytes = vector_bytes / n_parts
+    steps = n_parts - 1
+    raw = steps * (per_step_bytes / network.bandwidth + network.latency)
+    return raw * (1.0 - network.overlap)

@@ -1,0 +1,108 @@
+"""Out-of-core alternatives: chunked single GPU vs the multi-GPU design.
+
+Paper §3.2: "To handle out-of-core matrices, we can either use a single
+GPU to work on chunks of the matrix in serial, or distribute the chunks
+to multiple GPUs.  Because the single GPU strategy has to move the data
+from CPU to GPU in every iteration, the bandwidth of the PCI-Express bus
+from CPU to GPU (8 GB/s) will become the performance bottleneck ...
+because our best kernel can comfortably achieve 40 GB/s."
+
+This module models the rejected alternative so the design argument can
+be *measured*: per iteration the single-GPU strategy streams every chunk
+over PCIe and runs the kernel per chunk; the comparison against
+:func:`repro.multigpu.cluster.simulate_spmv` is the
+``bench_ablation_out_of_core`` target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix
+from repro.gpu.costs import CostReport
+from repro.gpu.launch import pcie_transfer_seconds
+from repro.gpu.spec import DeviceSpec
+from repro.kernels.base import create
+from repro.multigpu.bitonic import bitonic_partition
+from repro.multigpu.cluster import required_device_bytes
+
+__all__ = ["OutOfCoreReport", "simulate_chunked_single_gpu"]
+
+
+@dataclass
+class OutOfCoreReport:
+    """Per-iteration profile of the chunked single-GPU strategy."""
+
+    n_chunks: int
+    nnz: int
+    #: Kernel time summed over the serial chunks.
+    kernel_seconds: float
+    #: PCIe traffic per iteration (every chunk re-uploaded).
+    pcie_seconds: float
+    chunk_reports: list
+
+    @property
+    def iteration_seconds(self) -> float:
+        return self.kernel_seconds + self.pcie_seconds
+
+    @property
+    def gflops(self) -> float:
+        if self.iteration_seconds <= 0:
+            return 0.0
+        return 2 * self.nnz / self.iteration_seconds / 1e9
+
+    @property
+    def pcie_bound(self) -> bool:
+        """Whether the PCIe bus dominates, the paper's §3.2 argument."""
+        return self.pcie_seconds > self.kernel_seconds
+
+
+def simulate_chunked_single_gpu(
+    matrix: SparseMatrix,
+    device: DeviceSpec,
+    *,
+    kernel: str = "tile-composite",
+    gpu_memory_bytes: int | None = None,
+    **kernel_options,
+) -> OutOfCoreReport:
+    """One SpMV iteration of an out-of-core matrix on a single GPU.
+
+    The matrix is split into the fewest row chunks that fit the GPU
+    memory (bitonic, to keep the chunks balanced); each iteration every
+    chunk is uploaded over PCIe (matrix arrays + its x copy) and
+    multiplied in turn.
+    """
+    coo = matrix.to_coo()
+    limit = gpu_memory_bytes or device.global_memory_bytes
+    total_need = required_device_bytes(coo.n_rows, coo.n_cols, coo.nnz)
+    n_chunks = max(1, -(-total_need // max(limit, 1)))
+    if n_chunks > max(coo.n_rows, 1):
+        raise ValidationError(
+            "matrix cannot be chunked to fit the GPU memory"
+        )
+    assignment = bitonic_partition(coo.row_lengths(), n_chunks)
+    kernel_seconds = 0.0
+    pcie_seconds = 0.0
+    chunk_reports: list[CostReport] = []
+    for chunk in range(n_chunks):
+        local = coo.select_rows(np.nonzero(assignment == chunk)[0])
+        chunk_kernel = create(
+            kernel, local, device=device, **kernel_options
+        )
+        report = chunk_kernel.cost()
+        chunk_reports.append(report)
+        kernel_seconds += report.time_seconds
+        chunk_bytes = required_device_bytes(
+            local.n_rows, local.n_cols, local.nnz
+        )
+        pcie_seconds += pcie_transfer_seconds(chunk_bytes, device)
+    return OutOfCoreReport(
+        n_chunks=n_chunks,
+        nnz=coo.nnz,
+        kernel_seconds=kernel_seconds,
+        pcie_seconds=pcie_seconds,
+        chunk_reports=chunk_reports,
+    )

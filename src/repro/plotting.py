@@ -1,0 +1,86 @@
+"""Plain-text rendering of benchmark tables and series.
+
+The benchmark harness prints the same rows/series the paper's figures
+and tables report; these helpers keep that output aligned and legible
+in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["ascii_bar_chart", "ascii_table", "format_value"]
+
+
+def format_value(value, *, precision: int = 2) -> str:
+    """Render one cell: floats fixed-point, everything else ``str``."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render a fixed-width table with a separator under the header."""
+    str_rows = [
+        [format_value(cell, precision=precision) for cell in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render(list(headers)))
+    lines.append(render(["-" * w for w in widths]))
+    lines.extend(render(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    title: str | None = None,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart for one metric across labelled items."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max((v for v in values if v == v), default=0.0)
+    label_w = max((len(label) for label in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, value in zip(labels, values):
+        if value != value or peak <= 0:
+            bar = ""
+        else:
+            bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append(
+            f"{label.ljust(label_w)} |{bar.ljust(width)} "
+            f"{format_value(float(value))}{unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""CLI tests: every subcommand end to end through ``main``."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestDatasets:
+    def test_lists_all(self, capsys):
+        code, out, _ = run(capsys, "datasets")
+        assert code == 0
+        for name in ("flickr", "dense", "uk-union"):
+            assert name in out
+
+
+class TestSpmv:
+    def test_single_kernel(self, capsys):
+        code, out, _ = run(
+            capsys, "spmv", "youtube", "--scale", "400",
+            "--kernel", "hyb",
+        )
+        assert code == 0
+        assert "hyb" in out
+        assert "GFLOPS" in out
+
+    def test_multiple_kernels(self, capsys):
+        code, out, _ = run(
+            capsys, "spmv", "youtube", "--scale", "400",
+            "--kernel", "coo", "--kernel", "tile-composite",
+        )
+        assert code == 0
+        assert "tile-composite" in out
+
+    def test_inapplicable_kernel_reported(self, capsys):
+        code, out, _ = run(
+            capsys, "spmv", "flickr", "--scale", "400",
+            "--kernel", "dia",
+        )
+        assert code == 0
+        assert "n/a" in out
+
+    def test_unknown_dataset_fails_cleanly(self, capsys):
+        code, _out, err = run(capsys, "spmv", "nonexistent")
+        assert code == 2
+        assert "error:" in err
+
+
+class TestPagerank:
+    def test_end_to_end(self, capsys):
+        code, out, _ = run(
+            capsys, "pagerank", "youtube", "--scale", "400",
+            "--kernel", "coo", "--top", "3",
+        )
+        assert code == 0
+        assert "converged=True" in out
+        assert "rank" in out
+
+
+class TestAutotune:
+    def test_end_to_end(self, capsys):
+        code, out, _ = run(
+            capsys, "autotune", "webbase", "--scale", "200"
+        )
+        assert code == 0
+        assert "tiles:" in out
+        assert "predicted SpMV time" in out
+
+
+class TestInfo:
+    def test_power_law_dataset(self, capsys):
+        code, out, _ = run(capsys, "info", "flickr", "--scale", "400")
+        assert code == 0
+        assert "power-law verdict" in out
+        assert "True" in out
+
+    def test_unstructured_dataset(self, capsys):
+        code, out, _ = run(capsys, "info", "circuit", "--scale", "20")
+        assert code == 0
+        assert "False" in out

@@ -1,0 +1,196 @@
+"""Unit and property tests for the composite matrix build."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.camping import assign_workload_offsets
+from repro.core.composite import (
+    build_composite_tile,
+    build_tile_composite,
+)
+from repro.core.tile_coo import build_tile_coo
+from repro.errors import ValidationError
+from repro.formats.coo import COOMatrix
+from repro.graphs.chung_lu import chung_lu_graph
+from repro.gpu.spec import DeviceSpec
+
+from tests.conftest import random_coo
+
+
+@pytest.fixture
+def dev():
+    """Small texture cache so a 1000-column matrix spans several tiles."""
+    return DeviceSpec.tesla_c1060().scaled(texture_cache_bytes=512)
+
+
+class TestBuildCompositeTile:
+    def test_rows_sorted_by_length(self, dev):
+        tile = random_coo(50, 40, 300, seed=1)
+        built = build_composite_tile(tile, dev)
+        lengths = tile.row_lengths()[built.row_ids]
+        assert np.all(np.diff(lengths) <= 0)
+
+    def test_only_nonempty_rows(self, dev):
+        tile = COOMatrix([0, 5], [0, 1], [1.0, 1.0], (10, 4))
+        built = build_composite_tile(tile, dev)
+        assert sorted(built.row_ids) == [0, 5]
+
+    def test_nnz_preserved(self, dev):
+        tile = random_coo(30, 30, 200, seed=2)
+        built = build_composite_tile(tile, dev)
+        assert built.nnz == tile.nnz
+
+    def test_local_spmv_matches(self, dev):
+        tile = random_coo(25, 20, 120, seed=3)
+        built = build_composite_tile(tile, dev)
+        x = np.random.default_rng(4).random(20)
+        y = np.zeros(25)
+        y[built.row_ids] = built.csr.spmv(x)
+        assert np.allclose(y, tile.to_dense() @ x)
+
+    def test_explicit_workload_size(self, dev):
+        tile = random_coo(30, 30, 200, seed=5)
+        max_row = int(tile.row_lengths().max())
+        built = build_composite_tile(tile, dev, workload_size=max_row * 2)
+        assert built.workloads.workload_size == max_row * 2
+
+    def test_offsets_align_with_workloads(self, dev):
+        tile = random_coo(60, 30, 400, seed=6)
+        built = build_composite_tile(tile, dev)
+        assert built.start_offsets.size == built.workloads.n_workloads
+        assert np.all(np.diff(built.start_offsets) > 0)
+
+
+class TestCamping:
+    def test_pad_applied_on_stride_multiple(self, dev):
+        # 512 floats = exactly one partition stride.
+        entries = np.array([512, 512, 100])
+        offsets, sizes = assign_workload_offsets(entries, dev)
+        assert sizes[0] == 512 * 4 + dev.partition_width_bytes
+        assert sizes[2] == 400
+
+    def test_pad_disabled(self, dev):
+        entries = np.array([512, 512])
+        offsets, sizes = assign_workload_offsets(
+            entries, dev, avoid_camping=False
+        )
+        assert sizes[0] == 2048
+        assert offsets[1] == 2048
+
+    def test_pad_spreads_partitions(self, dev):
+        from repro.gpu.memory import partition_histogram
+
+        entries = np.full(64, 512)
+        camped, _ = assign_workload_offsets(
+            entries, dev, avoid_camping=False
+        )
+        padded, _ = assign_workload_offsets(entries, dev)
+        hist_camped = partition_histogram(camped, dev)
+        hist_padded = partition_histogram(padded, dev)
+        assert hist_camped.max() == 64        # all on one partition
+        assert hist_padded.max() < 64         # spread out
+
+    def test_rejects_negative(self, dev):
+        with pytest.raises(ValidationError):
+            assign_workload_offsets(np.array([-1]), dev)
+
+
+class TestBuildTileComposite:
+    def test_spmv_matches_dense(self, dev):
+        matrix = chung_lu_graph(600, 5000, seed=7)
+        built = build_tile_composite(matrix, dev)
+        x = np.random.default_rng(8).random(600)
+        assert np.allclose(built.spmv(x), matrix.to_dense() @ x)
+
+    def test_to_coo_roundtrip(self, dev):
+        matrix = chung_lu_graph(400, 3000, seed=9)
+        built = build_tile_composite(matrix, dev)
+        assert np.allclose(built.to_coo().to_dense(), matrix.to_dense())
+
+    def test_nnz_preserved(self, dev):
+        matrix = chung_lu_graph(500, 4000, seed=10)
+        built = build_tile_composite(matrix, dev)
+        assert built.nnz == matrix.nnz
+
+    def test_explicit_tiles(self, dev):
+        matrix = chung_lu_graph(500, 4000, seed=11)
+        built = build_tile_composite(matrix, dev, n_tiles=2)
+        assert built.plan.n_tiles == 2
+        assert len(built.tiles) == 2
+
+    def test_workload_sizes_length_checked(self, dev):
+        matrix = chung_lu_graph(500, 4000, seed=12)
+        with pytest.raises(ValidationError):
+            build_tile_composite(
+                matrix, dev, n_tiles=2, workload_sizes=[None]
+            )
+
+    def test_zero_tiles_all_remainder(self, dev):
+        matrix = chung_lu_graph(300, 2000, seed=13)
+        built = build_tile_composite(matrix, dev, n_tiles=0)
+        assert not built.tiles
+        assert built.remainder is not None
+        x = np.ones(300)
+        assert np.allclose(built.spmv(x), matrix.spmv(x))
+
+    def test_padding_ratio_reported(self, dev):
+        matrix = chung_lu_graph(400, 3000, seed=14)
+        built = build_tile_composite(matrix, dev)
+        assert built.padding_ratio >= 1.0
+
+    def test_remainder_uncached_tiles_cached(self, dev):
+        matrix = chung_lu_graph(800, 6000, seed=15)
+        built = build_tile_composite(matrix, dev)
+        assert all(t.cached for t in built.tiles)
+        if built.remainder is not None:
+            assert not built.remainder.cached
+
+
+class TestTileCOOMatrix:
+    def test_spmv_matches_dense(self, dev):
+        matrix = chung_lu_graph(500, 4000, seed=16)
+        built = build_tile_coo(matrix, dev)
+        x = np.random.default_rng(17).random(500)
+        assert np.allclose(built.spmv(x), matrix.to_dense() @ x)
+
+    def test_to_coo_roundtrip(self, dev):
+        matrix = chung_lu_graph(300, 2500, seed=18)
+        built = build_tile_coo(matrix, dev)
+        assert np.allclose(built.to_coo().to_dense(), matrix.to_dense())
+
+    def test_nnz_preserved(self, dev):
+        matrix = chung_lu_graph(400, 3500, seed=19)
+        built = build_tile_coo(matrix, dev)
+        assert built.nnz == matrix.nnz
+
+    def test_remainder_is_hyb(self, dev):
+        from repro.formats.hyb import HYBMatrix
+
+        matrix = chung_lu_graph(700, 5000, seed=20)
+        built = build_tile_coo(matrix, dev)
+        if built.remainder is not None:
+            assert isinstance(built.remainder, HYBMatrix)
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(16, 200),
+    density=st.floats(0.01, 0.3),
+)
+@settings(max_examples=25, deadline=None)
+def test_composite_transform_is_exact(seed, n, density):
+    """The full transform never changes the operator."""
+    dev = DeviceSpec.tesla_c1060().scaled(texture_cache_bytes=256)
+    rng = np.random.default_rng(seed)
+    nnz = max(1, int(n * n * density))
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    matrix = COOMatrix.from_unsorted(
+        rows, cols, rng.standard_normal(nnz), (n, n)
+    )
+    built = build_tile_composite(matrix, dev)
+    x = rng.standard_normal(n)
+    np.testing.assert_allclose(
+        built.spmv(x), matrix.to_dense() @ x, atol=1e-9
+    )

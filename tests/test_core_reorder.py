@@ -1,0 +1,51 @@
+"""Unit and property tests for the counting-sort reordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.reorder import counting_sort_desc, order_by_length
+from repro.errors import ValidationError
+
+
+class TestCountingSortDesc:
+    def test_basic(self):
+        order = counting_sort_desc(np.array([1, 3, 2]))
+        assert list(order) == [1, 2, 0]
+
+    def test_stability(self):
+        order = counting_sort_desc(np.array([2, 5, 2, 5]))
+        assert list(order) == [1, 3, 0, 2]
+
+    def test_empty(self):
+        assert counting_sort_desc(np.array([], dtype=int)).size == 0
+
+    def test_all_equal(self):
+        order = counting_sort_desc(np.full(5, 7))
+        assert list(order) == [0, 1, 2, 3, 4]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            counting_sort_desc(np.array([1, -1]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            counting_sort_desc(np.ones((2, 2)))
+
+    def test_alias(self):
+        lengths = np.array([4, 1, 9])
+        assert list(order_by_length(lengths)) == list(
+            counting_sort_desc(lengths)
+        )
+
+
+@given(st.lists(st.integers(0, 1000), max_size=500))
+@settings(max_examples=50, deadline=None)
+def test_counting_sort_properties(values):
+    lengths = np.asarray(values, dtype=np.int64)
+    order = counting_sort_desc(lengths)
+    # A permutation...
+    assert sorted(order) == list(range(lengths.size))
+    # ...producing a non-increasing sequence.
+    sorted_lengths = lengths[order]
+    assert np.all(np.diff(sorted_lengths) <= 0)

@@ -1,0 +1,112 @@
+"""Unit tests for the tiling plan and slicing (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tiling import plan_tiles, slice_into_tiles
+from repro.errors import ValidationError
+from repro.formats.coo import COOMatrix
+from repro.graphs.chung_lu import chung_lu_graph
+
+from tests.conftest import random_coo
+
+
+class TestPlanTiles:
+    def test_greedy_rule_stops_at_singleton_columns(self):
+        # 8 columns of length >= 2, 56 of length 1, tile width 8:
+        # tile 0 holds the length-2 columns, tile 1 would lead with a
+        # singleton -> exactly one tile.
+        lengths = np.concatenate([np.full(8, 3), np.ones(56, dtype=int)])
+        plan = plan_tiles(lengths, tile_width=8)
+        assert plan.n_tiles == 1
+        assert plan.remainder_cols == 56
+
+    def test_all_columns_dense_tiles_everything(self):
+        lengths = np.full(32, 5)
+        plan = plan_tiles(lengths, tile_width=8)
+        assert plan.n_tiles == 4
+        assert plan.remainder_cols == 0
+
+    def test_no_reuse_no_tiles(self):
+        plan = plan_tiles(np.ones(64, dtype=int), tile_width=8)
+        assert plan.n_tiles == 0
+        assert plan.dense_cols == 0
+
+    def test_explicit_override(self):
+        lengths = np.ones(64, dtype=int)
+        plan = plan_tiles(lengths, tile_width=8, n_tiles=3)
+        assert plan.n_tiles == 3
+
+    def test_override_out_of_range(self):
+        with pytest.raises(ValidationError):
+            plan_tiles(np.ones(16, dtype=int), tile_width=8, n_tiles=5)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValidationError):
+            plan_tiles(np.ones(4, dtype=int), tile_width=0)
+
+    def test_col_order_sorted_desc(self):
+        lengths = np.array([1, 9, 4, 7, 2])
+        plan = plan_tiles(lengths, tile_width=2)
+        assert list(lengths[plan.col_order]) == [9, 7, 4, 2, 1]
+
+    def test_tile_range(self):
+        plan = plan_tiles(np.full(10, 3), tile_width=4)
+        assert plan.tile_range(0) == (0, 4)
+        assert plan.tile_range(2) == (8, 10)  # last tile clipped
+        with pytest.raises(ValidationError):
+            plan.tile_range(3)
+
+
+class TestSliceIntoTiles:
+    def test_nnz_conserved(self):
+        matrix = chung_lu_graph(500, 4000, seed=1)
+        plan = plan_tiles(matrix.col_lengths(), tile_width=64)
+        tiles, remainder = slice_into_tiles(matrix, plan)
+        total = sum(t.nnz for t in tiles) + remainder.nnz
+        assert total == matrix.nnz
+
+    def test_tile_shapes(self):
+        matrix = random_coo(50, 100, 600, seed=2)
+        plan = plan_tiles(matrix.col_lengths(), tile_width=30, n_tiles=2)
+        tiles, remainder = slice_into_tiles(matrix, plan)
+        assert tiles[0].shape == (50, 30)
+        assert tiles[1].shape == (50, 30)
+        assert remainder.shape == (50, 40)
+
+    def test_reconstruction(self):
+        """Slicing is a pure relayout: reassembling through the column
+        order reproduces the matrix."""
+        matrix = random_coo(40, 60, 500, seed=3)
+        plan = plan_tiles(matrix.col_lengths(), tile_width=16, n_tiles=2)
+        tiles, remainder = slice_into_tiles(matrix, plan)
+        dense = np.zeros(matrix.shape)
+        reordered = matrix.to_dense()[:, plan.col_order]
+        for t, tile in enumerate(tiles):
+            start, stop = plan.tile_range(t)
+            assert np.allclose(tile.to_dense(), reordered[:, start:stop])
+        assert np.allclose(
+            remainder.to_dense(), reordered[:, plan.dense_cols:]
+        )
+        del dense
+
+    def test_tiled_spmv_equivalence(self):
+        """Summing per-tile products over reordered x equals A @ x."""
+        matrix = random_coo(30, 80, 400, seed=4)
+        plan = plan_tiles(matrix.col_lengths(), tile_width=32, n_tiles=2)
+        tiles, remainder = slice_into_tiles(matrix, plan)
+        x = np.random.default_rng(5).random(80)
+        xr = x[plan.col_order]
+        y = np.zeros(30)
+        for t, tile in enumerate(tiles):
+            start, stop = plan.tile_range(t)
+            y += tile.spmv(xr[start:stop])
+        y += remainder.spmv(xr[plan.dense_cols:])
+        assert np.allclose(y, matrix.to_dense() @ x)
+
+    def test_empty_matrix(self):
+        matrix = COOMatrix([], [], [], (5, 10))
+        plan = plan_tiles(matrix.col_lengths(), tile_width=4)
+        tiles, remainder = slice_into_tiles(matrix, plan)
+        assert not tiles
+        assert remainder.nnz == 0

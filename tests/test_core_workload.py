@@ -1,0 +1,187 @@
+"""Unit and property tests for workload packing (Solution 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.workload import (
+    STORAGE_CSR,
+    STORAGE_ELL,
+    default_workload_size,
+    pack_workloads,
+    workload_warp_instructions,
+)
+from repro.errors import ValidationError
+from repro.gpu.spec import DeviceSpec
+
+
+@pytest.fixture
+def dev():
+    return DeviceSpec.tesla_c1060()
+
+
+@pytest.fixture
+def tiny_dev():
+    """Figure 1(d)'s fictitious architecture: two threads per warp."""
+    return DeviceSpec.small_test_device()
+
+
+class TestFigure1Example:
+    """Figure 1(d): workload size 4, rows [2,2,2,2,1,1,1,1] on a
+    2-thread-warp device."""
+
+    def test_packing(self, tiny_dev):
+        lengths = np.array([2, 2, 2, 2, 1, 1, 1, 1])
+        ws = pack_workloads(lengths, 4, tiny_dev)
+        assert ws.n_workloads == 3
+        assert list(ws.heights) == [2, 2, 4]
+        assert list(ws.widths) == [2, 2, 1]
+
+    def test_storage_choice(self, tiny_dev):
+        lengths = np.array([2, 2, 2, 2, 1, 1, 1, 1])
+        ws = pack_workloads(lengths, 4, tiny_dev)
+        # First two workloads: w=2 >= h=2 -> row major (CSR-vector);
+        # last: w=1 < h=4 -> column major (ELL).
+        assert list(ws.storage) == [STORAGE_CSR, STORAGE_CSR, STORAGE_ELL]
+
+
+class TestPackWorkloads:
+    def test_rejects_unsorted(self, dev):
+        with pytest.raises(ValidationError):
+            pack_workloads(np.array([1, 5]), 10, dev)
+
+    def test_rejects_zero_rows(self, dev):
+        with pytest.raises(ValidationError):
+            pack_workloads(np.array([3, 0]), 10, dev)
+
+    def test_rejects_workload_below_longest_row(self, dev):
+        with pytest.raises(ValidationError):
+            pack_workloads(np.array([100, 5]), 50, dev)
+
+    def test_empty(self, dev):
+        ws = pack_workloads(np.array([], dtype=int), 8, dev)
+        assert ws.n_workloads == 0
+        assert ws.total_padded == 0
+
+    def test_single_row(self, dev):
+        ws = pack_workloads(np.array([100]), 100, dev)
+        assert ws.n_workloads == 1
+        assert ws.storage[0] == STORAGE_CSR
+        assert ws.w_pad[0] == 128  # padded to warp multiple
+
+    def test_padding_multiples_of_warp(self, dev):
+        lengths = np.sort(
+            np.random.default_rng(0).integers(1, 300, 500)
+        )[::-1]
+        ws = pack_workloads(lengths, int(lengths[0]) * 3, dev)
+        csr = ws.storage == STORAGE_CSR
+        ell = ws.storage == STORAGE_ELL
+        assert np.all(ws.w_pad[csr] % dev.warp_size == 0)
+        assert np.all(ws.h_pad[ell] % dev.warp_size == 0)
+
+    def test_coverage(self, dev):
+        lengths = np.sort(
+            np.random.default_rng(1).integers(1, 50, 200)
+        )[::-1]
+        ws = pack_workloads(lengths, int(lengths[0]) * 2, dev)
+        assert ws.heights.sum() == lengths.size
+        assert ws.total_nnz == lengths.sum()
+        # Workloads tile the sorted row list contiguously.
+        assert ws.starts[0] == 0
+        assert np.all(np.diff(ws.starts) == ws.heights[:-1])
+
+    def test_padding_guard_bounds_waste(self, dev):
+        # A hub row followed by a long tail of singletons used to
+        # produce a catastrophic rectangle; the width-ratio guard caps
+        # per-workload padding.
+        lengths = np.concatenate(
+            [np.array([1000]), np.full(5000, 1)]
+        )
+        ws = pack_workloads(lengths, 6000, dev)
+        assert ws.n_workloads >= 2
+        # The hub sits alone; tail rows never pad to width 1000.
+        assert ws.padding_ratio < 3.0
+
+    def test_workload_size_respected(self, dev):
+        lengths = np.sort(
+            np.random.default_rng(2).integers(1, 40, 300)
+        )[::-1]
+        size = int(lengths[0]) * 2
+        ws = pack_workloads(lengths, size, dev)
+        # No workload holds more than size nnz (greedy closes first).
+        assert np.all(ws.nnz <= size)
+
+
+class TestDefaultWorkloadSize:
+    def test_at_least_longest_row(self, dev):
+        lengths = np.array([500, 10, 5])
+        assert default_workload_size(lengths, dev) >= 500
+
+    def test_multiple_of_longest_row(self, dev):
+        lengths = np.sort(
+            np.random.default_rng(3).integers(1, 100, 10_000)
+        )[::-1]
+        size = default_workload_size(lengths, dev)
+        assert size % int(lengths[0]) == 0
+
+    def test_occupancy_bound(self, dev):
+        # Enough rows that the upper bound binds.
+        lengths = np.full(10_000_000, 1)
+        size = default_workload_size(lengths, dev)
+        assert size >= 10_000_000 // dev.max_active_warps
+
+    def test_empty(self, dev):
+        assert default_workload_size(np.array([], dtype=int), dev) == 1
+
+
+class TestWarpInstructions:
+    def test_csr_scales_with_rows(self, dev):
+        args = lambda h: workload_warp_instructions(
+            np.array([64]), np.array([h]), np.array([60]),
+            np.array([h]), np.array([STORAGE_CSR]), dev,
+        )[0]
+        assert args(10) > args(1)
+
+    def test_ell_scales_with_width(self, dev):
+        args = lambda w: workload_warp_instructions(
+            np.array([w]), np.array([100]), np.array([w]),
+            np.array([128]), np.array([STORAGE_ELL]), dev,
+        )[0]
+        assert args(8) > args(2)
+
+    def test_positive(self, dev):
+        out = workload_warp_instructions(
+            np.array([32, 4]), np.array([1, 64]), np.array([30, 4]),
+            np.array([1, 64]), np.array([STORAGE_CSR, STORAGE_ELL]), dev,
+        )
+        assert np.all(out > 0)
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_rows=st.integers(1, 400),
+    max_len=st.integers(1, 200),
+    size_factor=st.integers(1, 10),
+)
+@settings(max_examples=50, deadline=None)
+def test_pack_workloads_invariants(seed, n_rows, max_len, size_factor):
+    dev = DeviceSpec.tesla_c1060()
+    rng = np.random.default_rng(seed)
+    lengths = np.sort(rng.integers(1, max_len + 1, n_rows))[::-1]
+    size = int(lengths[0]) * size_factor
+    ws = pack_workloads(lengths, size, dev)
+    # Every row is covered exactly once.
+    assert ws.heights.sum() == n_rows
+    assert ws.total_nnz == lengths.sum()
+    # Rectangles contain their rows: width is the first (longest) row.
+    for k in range(ws.n_workloads):
+        rows = lengths[ws.starts[k] : ws.starts[k] + ws.heights[k]]
+        assert ws.widths[k] == rows[0]
+        assert np.all(rows <= ws.widths[k])
+    # Padded entries dominate nnz.
+    assert ws.total_padded >= ws.total_nnz
+    # Storage decision is by shape.
+    expected = np.where(
+        ws.widths >= ws.heights, STORAGE_CSR, STORAGE_ELL
+    )
+    assert np.array_equal(ws.storage, expected)

@@ -1,0 +1,59 @@
+"""The shipped examples and bench modules must at least be importable
+code: syntax-check them and verify each example exposes ``main``."""
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+BENCHES = sorted((REPO / "benchmarks").glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES + BENCHES, ids=lambda p: p.name
+)
+def test_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"),
+                       doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_structure(path):
+    tree = ast.parse(path.read_text())
+    names = {
+        node.name for node in tree.body
+        if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in names, f"{path.name} must define main()"
+    assert ast.get_docstring(tree), f"{path.name} must carry a docstring"
+
+
+def test_expected_example_set():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "pagerank_webgraph.py",
+        "autotuning_demo.py",
+        "multigpu_scaling.py",
+        "format_zoo.py",
+        "kernel_selection.py",
+    } <= names
+
+
+def test_one_bench_per_paper_artifact():
+    names = {p.name for p in BENCHES}
+    expected = {
+        "bench_fig2_spmv_powerlaw.py",
+        "bench_fig3_pagerank.py",
+        "bench_fig4_multigpu.py",
+        "bench_fig5_autotune.py",
+        "bench_fig7_spmv_unstructured.py",
+        "bench_fig8_hits_rwr.py",
+        "bench_table1_pagerank.py",
+        "bench_table4_hits.py",
+        "bench_table5_rwr.py",
+    }
+    assert expected <= names

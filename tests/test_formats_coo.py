@@ -1,0 +1,171 @@
+"""Unit tests for the COO format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.formats.coo import COOMatrix
+
+from tests.conftest import random_coo
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = COOMatrix([0, 1], [1, 0], [2.0, 3.0], (2, 2))
+        assert m.nnz == 2
+        assert m.shape == (2, 2)
+
+    def test_rejects_unsorted_rows(self):
+        with pytest.raises(ValidationError):
+            COOMatrix([1, 0], [0, 0], [1.0, 1.0], (2, 2))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            COOMatrix([0], [0, 1], [1.0, 1.0], (2, 2))
+
+    def test_rejects_row_out_of_range(self):
+        with pytest.raises(ValidationError):
+            COOMatrix([0, 5], [0, 0], [1.0, 1.0], (2, 2))
+
+    def test_rejects_col_out_of_range(self):
+        with pytest.raises(ValidationError):
+            COOMatrix([0, 1], [0, 9], [1.0, 1.0], (2, 2))
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValidationError):
+            COOMatrix([-1, 0], [0, 0], [1.0, 1.0], (2, 2))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValidationError):
+            COOMatrix([], [], [], (2,))
+
+    def test_empty_matrix(self):
+        m = COOMatrix([], [], [], (3, 4))
+        assert m.nnz == 0
+        assert np.allclose(m.spmv(np.ones(4)), np.zeros(3))
+
+    def test_zero_by_zero(self):
+        m = COOMatrix([], [], [], (0, 0))
+        assert m.spmv(np.zeros(0)).shape == (0,)
+
+    def test_from_unsorted_sorts(self):
+        m = COOMatrix.from_unsorted([2, 0, 1], [0, 1, 2], [1, 2, 3], (3, 3))
+        assert list(m.rows) == [0, 1, 2]
+
+    def test_from_unsorted_sums_duplicates(self):
+        m = COOMatrix.from_unsorted(
+            [0, 0, 0], [1, 1, 2], [1.0, 2.0, 5.0], (2, 3)
+        )
+        assert m.nnz == 2
+        dense = m.to_dense()
+        assert dense[0, 1] == 3.0
+        assert dense[0, 2] == 5.0
+
+    def test_from_edges_dedupes(self):
+        m = COOMatrix.from_edges([0, 0, 1], [1, 1, 0], (2, 2))
+        assert m.nnz == 2
+        assert np.all(m.data == 1.0)
+
+    def test_from_edges_keeps_duplicates_when_disabled(self):
+        m = COOMatrix.from_edges([0, 0], [1, 1], (2, 2), dedupe=False)
+        assert m.nnz == 2
+
+
+class TestSpMV:
+    def test_matches_dense(self):
+        m = random_coo(20, 30, 100, seed=1)
+        x = np.random.default_rng(2).random(30)
+        assert np.allclose(m.spmv(x), m.to_dense() @ x)
+
+    def test_rectangular(self):
+        m = random_coo(5, 50, 40, seed=3)
+        x = np.ones(50)
+        assert np.allclose(m.spmv(x), m.to_dense() @ x)
+
+    def test_rejects_wrong_length(self):
+        m = random_coo(5, 6, 10)
+        with pytest.raises(ValidationError):
+            m.spmv(np.ones(5))
+
+    def test_rejects_matrix_input(self):
+        m = random_coo(5, 6, 10)
+        with pytest.raises(ValidationError):
+            m.spmv(np.ones((6, 1)))
+
+
+class TestTranspose:
+    def test_involution(self):
+        m = random_coo(12, 9, 40, seed=4)
+        assert np.allclose(m.transpose().transpose().to_dense(), m.to_dense())
+
+    def test_dense_agreement(self):
+        m = random_coo(7, 11, 30, seed=5)
+        assert np.allclose(m.transpose().to_dense(), m.to_dense().T)
+
+
+class TestPermute:
+    def test_column_permutation(self):
+        m = random_coo(6, 6, 20, seed=6)
+        perm = np.array([3, 4, 5, 0, 1, 2])
+        permuted = m.permute(col_perm=perm)
+        dense = m.to_dense()
+        expected = np.zeros_like(dense)
+        expected[:, perm] = dense
+        assert np.allclose(permuted.to_dense(), expected)
+
+    def test_row_permutation(self):
+        m = random_coo(6, 6, 20, seed=7)
+        perm = np.array([5, 4, 3, 2, 1, 0])
+        permuted = m.permute(row_perm=perm)
+        dense = m.to_dense()
+        expected = np.zeros_like(dense)
+        expected[perm, :] = dense
+        assert np.allclose(permuted.to_dense(), expected)
+
+
+class TestSelection:
+    def test_select_rows(self):
+        m = random_coo(10, 8, 40, seed=8)
+        sub = m.select_rows(np.array([2, 5, 7]))
+        assert sub.shape == (3, 8)
+        assert np.allclose(sub.to_dense(), m.to_dense()[[2, 5, 7]])
+
+    def test_select_rows_preserves_order(self):
+        m = random_coo(10, 8, 40, seed=9)
+        sub = m.select_rows(np.array([7, 2]))
+        assert np.allclose(sub.to_dense(), m.to_dense()[[7, 2]])
+
+    def test_select_col_range(self):
+        m = random_coo(10, 20, 60, seed=10)
+        sub = m.select_col_range(5, 12)
+        assert sub.shape == (10, 7)
+        assert np.allclose(sub.to_dense(), m.to_dense()[:, 5:12])
+
+    def test_select_col_range_rejects_bad_bounds(self):
+        m = random_coo(4, 4, 5)
+        with pytest.raises(ValidationError):
+            m.select_col_range(3, 2)
+        with pytest.raises(ValidationError):
+            m.select_col_range(0, 10)
+
+
+class TestStats:
+    def test_row_lengths(self):
+        m = COOMatrix([0, 0, 2], [0, 1, 2], [1, 1, 1], (3, 3))
+        assert list(m.row_lengths()) == [2, 0, 1]
+
+    def test_col_lengths(self):
+        m = COOMatrix([0, 0, 2], [0, 1, 0], [1, 1, 1], (3, 3))
+        assert list(m.col_lengths()) == [2, 1, 0]
+
+    def test_nbytes_counts_three_arrays(self):
+        m = random_coo(5, 5, 10)
+        assert m.nbytes == 3 * m.nnz * 4
+
+    def test_density(self):
+        m = COOMatrix([0], [0], [1.0], (2, 2))
+        assert m.density == 0.25
+
+    def test_flops(self):
+        m = random_coo(5, 5, 10)
+        assert m.flops == 2 * m.nnz

@@ -1,0 +1,138 @@
+"""Unit tests for CSR and CSC formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+
+from tests.conftest import random_coo
+
+
+class TestCSRConstruction:
+    def test_from_coo_roundtrip(self):
+        coo = random_coo(15, 12, 50, seed=1)
+        csr = CSRMatrix.from_coo(coo)
+        assert csr.nnz == coo.nnz
+        assert np.allclose(csr.to_dense(), coo.to_dense())
+
+    def test_rejects_bad_indptr_length(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix([0, 1], [0], [1.0], (3, 3))
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix([0, 2, 1, 2], [0, 1], [1.0, 1.0], (3, 3))
+
+    def test_rejects_indptr_not_ending_at_nnz(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix([0, 1, 1, 3], [0, 1], [1.0, 1.0], (3, 3))
+
+    def test_rejects_column_out_of_range(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix([0, 1], [7], [1.0], (1, 3))
+
+    def test_empty_rows_handled(self):
+        coo = COOMatrix([0, 3], [1, 2], [1.0, 2.0], (5, 4))
+        csr = CSRMatrix.from_coo(coo)
+        assert list(csr.row_lengths()) == [1, 0, 0, 1, 0]
+
+
+class TestCSRSpMV:
+    def test_matches_dense(self):
+        coo = random_coo(30, 25, 200, seed=2)
+        csr = CSRMatrix.from_coo(coo)
+        x = np.random.default_rng(3).random(25)
+        assert np.allclose(csr.spmv(x), coo.to_dense() @ x)
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix([0, 0, 0], [], [], (2, 2))
+        assert np.allclose(csr.spmv(np.ones(2)), 0)
+
+    def test_trailing_empty_rows(self):
+        coo = COOMatrix([0], [0], [5.0], (4, 2))
+        csr = CSRMatrix.from_coo(coo)
+        y = csr.spmv(np.array([2.0, 0.0]))
+        assert np.allclose(y, [10.0, 0, 0, 0])
+
+
+class TestCSRRowOps:
+    def test_row_access(self):
+        coo = COOMatrix([0, 0, 1], [1, 3, 2], [1.0, 2.0, 3.0], (2, 4))
+        csr = CSRMatrix.from_coo(coo)
+        idx, val = csr.row(0)
+        assert list(idx) == [1, 3]
+        assert list(val) == [1.0, 2.0]
+
+    def test_row_out_of_range(self):
+        csr = CSRMatrix([0, 0], [], [], (1, 1))
+        with pytest.raises(ValidationError):
+            csr.row(2)
+
+    def test_select_rows_reorders(self):
+        coo = random_coo(8, 6, 30, seed=4)
+        csr = CSRMatrix.from_coo(coo)
+        sub = csr.select_rows(np.array([4, 1, 6]))
+        assert np.allclose(sub.to_dense(), coo.to_dense()[[4, 1, 6]])
+
+    def test_select_rows_empty_selection(self):
+        csr = CSRMatrix.from_coo(random_coo(5, 5, 10))
+        sub = csr.select_rows(np.array([], dtype=np.int64))
+        assert sub.shape == (0, 5)
+        assert sub.nnz == 0
+
+    def test_normalize_rows(self):
+        coo = COOMatrix([0, 0, 1], [0, 1, 1], [2.0, 2.0, 5.0], (3, 2))
+        norm = CSRMatrix.from_coo(coo).normalize_rows()
+        sums = norm.spmv(np.ones(2))
+        assert np.allclose(sums[:2], 1.0)
+        assert sums[2] == 0.0  # empty row untouched
+
+
+class TestCSC:
+    def test_from_coo_roundtrip(self):
+        coo = random_coo(9, 14, 60, seed=5)
+        csc = CSCMatrix.from_coo(coo)
+        assert np.allclose(csc.to_dense(), coo.to_dense())
+
+    def test_spmv_matches_dense(self):
+        coo = random_coo(20, 10, 80, seed=6)
+        csc = CSCMatrix.from_coo(coo)
+        x = np.random.default_rng(7).random(10)
+        assert np.allclose(csc.spmv(x), coo.to_dense() @ x)
+
+    def test_col_lengths(self):
+        coo = COOMatrix([0, 1, 1], [0, 0, 2], [1, 1, 1], (2, 3))
+        csc = CSCMatrix.from_coo(coo)
+        assert list(csc.col_lengths()) == [2, 0, 1]
+
+    def test_select_cols(self):
+        coo = random_coo(10, 12, 50, seed=8)
+        csc = CSCMatrix.from_coo(coo)
+        order = np.array([11, 0, 5])
+        sub = csc.select_cols(order)
+        assert np.allclose(sub.to_dense(), coo.to_dense()[:, order])
+
+    def test_select_cols_full_permutation(self):
+        coo = random_coo(6, 6, 18, seed=9)
+        csc = CSCMatrix.from_coo(coo)
+        perm = np.random.default_rng(1).permutation(6)
+        sub = csc.select_cols(perm)
+        assert np.allclose(sub.to_dense(), coo.to_dense()[:, perm])
+
+    def test_normalize_cols(self):
+        coo = COOMatrix([0, 1, 1], [0, 0, 1], [3.0, 1.0, 4.0], (2, 3))
+        norm = CSCMatrix.from_coo(coo).normalize_cols()
+        col_sums = norm.to_dense().sum(axis=0)
+        assert np.allclose(col_sums[:2], 1.0)
+        assert col_sums[2] == 0.0
+
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(ValidationError):
+            CSCMatrix([0, 1], [0], [1.0], (3, 3))
+
+    def test_rejects_row_index_out_of_range(self):
+        with pytest.raises(ValidationError):
+            CSCMatrix([0, 1], [5], [1.0], (2, 1))

@@ -1,0 +1,121 @@
+"""Unit tests for DIA and PKT formats, including their paper-reported
+failure modes on power-law matrices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatNotApplicableError, ValidationError
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.pkt import PKTMatrix, bfs_clusters
+from repro.graphs.synthetic import banded_matrix, protein_matrix
+
+from tests.conftest import random_coo
+
+
+class TestDIA:
+    def test_tridiagonal_roundtrip(self):
+        n = 20
+        rows = np.concatenate([np.arange(n), np.arange(n - 1), np.arange(1, n)])
+        cols = np.concatenate([np.arange(n), np.arange(1, n), np.arange(n - 1)])
+        coo = COOMatrix.from_unsorted(
+            rows, cols, np.arange(1.0, rows.size + 1), (n, n)
+        )
+        dia = DIAMatrix.from_coo(coo)
+        assert dia.offsets.size == 3
+        assert np.allclose(dia.to_dense(), coo.to_dense())
+
+    def test_spmv_matches_dense(self):
+        m = banded_matrix(50, 3, 5, seed=1)
+        dia = DIAMatrix.from_coo(m)
+        x = np.random.default_rng(2).random(50)
+        assert np.allclose(dia.spmv(x), m.to_dense() @ x)
+
+    def test_rejects_powerlaw(self, powerlaw_matrix):
+        with pytest.raises(FormatNotApplicableError):
+            DIAMatrix.from_coo(powerlaw_matrix)
+
+    def test_rejects_random(self):
+        with pytest.raises(FormatNotApplicableError):
+            DIAMatrix.from_coo(random_coo(200, 200, 2000, seed=3))
+
+    def test_max_diagonals_override(self):
+        m = banded_matrix(40, 5, 6, seed=4)
+        dia = DIAMatrix.from_coo(m, max_diagonals=11)
+        assert dia.offsets.size <= 11
+
+    def test_validation_rejects_duplicate_offsets(self):
+        with pytest.raises(ValidationError):
+            DIAMatrix(np.array([0, 0]), np.zeros((2, 4)), (4, 4))
+
+    def test_padded_entries(self):
+        m = banded_matrix(30, 2, 3, seed=5)
+        dia = DIAMatrix.from_coo(m)
+        assert dia.padded_entries == dia.offsets.size * 30
+        assert dia.padded_entries >= dia.nnz
+
+
+class TestBFSClusters:
+    def test_covers_all_vertices(self):
+        m = protein_matrix(200, block_size=16, seed=1)
+        sym = CSRMatrix.from_coo(m)
+        labels = bfs_clusters(sym, 4, seed=0)
+        assert labels.min() >= 0
+        assert labels.max() < 4
+        assert labels.size == 200
+
+    def test_balanced_sizes(self):
+        m = protein_matrix(400, block_size=16, seed=2)
+        labels = bfs_clusters(CSRMatrix.from_coo(m), 8, seed=0)
+        sizes = np.bincount(labels, minlength=8)
+        assert sizes.max() <= -(-400 // 8) + 8
+
+    def test_single_cluster(self):
+        m = random_coo(50, 50, 200, seed=6)
+        labels = bfs_clusters(CSRMatrix.from_coo(m), 1)
+        assert np.all(labels == 0)
+
+    def test_rejects_zero_clusters(self):
+        m = random_coo(10, 10, 20)
+        with pytest.raises(ValidationError):
+            bfs_clusters(CSRMatrix.from_coo(m), 0)
+
+    def test_isolated_vertices_assigned(self):
+        coo = COOMatrix([0], [1], [1.0], (10, 10))
+        labels = bfs_clusters(CSRMatrix.from_coo(coo), 3, seed=1)
+        assert np.all(labels >= 0)
+
+
+class TestPKT:
+    def test_clusterable_roundtrip(self):
+        m = protein_matrix(300, block_size=24, seed=3)
+        pkt = PKTMatrix.from_coo(m, n_packets=4, seed=0)
+        assert np.allclose(pkt.to_coo().to_dense(), m.to_dense())
+
+    def test_spmv_matches_dense(self):
+        m = protein_matrix(300, block_size=24, seed=4)
+        pkt = PKTMatrix.from_coo(m, n_packets=4, seed=0)
+        x = np.random.default_rng(5).random(300)
+        assert np.allclose(pkt.spmv(x), m.to_dense() @ x)
+
+    def test_nnz_preserved(self):
+        m = protein_matrix(250, block_size=20, seed=6)
+        pkt = PKTMatrix.from_coo(m, n_packets=5, seed=0, validate_balance=False)
+        assert pkt.nnz == m.nnz
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(FormatNotApplicableError):
+            PKTMatrix.from_coo(random_coo(5, 9, 20))
+
+    def test_fails_on_powerlaw(self, powerlaw_matrix):
+        # "the partition step ... leads to kernel failure" (paper 4.1)
+        with pytest.raises(FormatNotApplicableError):
+            PKTMatrix.from_coo(powerlaw_matrix, n_packets=8)
+
+    def test_balance_validation_can_be_disabled(self, powerlaw_matrix):
+        pkt = PKTMatrix.from_coo(
+            powerlaw_matrix, n_packets=8, validate_balance=False
+        )
+        x = np.ones(powerlaw_matrix.n_cols)
+        assert np.allclose(pkt.spmv(x), powerlaw_matrix.spmv(x))

@@ -1,0 +1,144 @@
+"""Unit tests for ELL and HYB formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatNotApplicableError, ValidationError
+from repro.formats.coo import COOMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hyb import HYB_ELL_THRESHOLD, HYBMatrix, choose_ell_width
+
+from tests.conftest import random_coo
+
+
+class TestELL:
+    def test_roundtrip(self):
+        coo = random_coo(10, 10, 30, seed=1)
+        ell = ELLMatrix.from_coo(coo)
+        assert np.allclose(ell.to_dense(), coo.to_dense())
+
+    def test_spmv_matches_dense(self):
+        coo = random_coo(12, 9, 40, seed=2)
+        ell = ELLMatrix.from_coo(coo)
+        x = np.random.default_rng(3).random(9)
+        assert np.allclose(ell.spmv(x), coo.to_dense() @ x)
+
+    def test_width_is_longest_row(self):
+        coo = COOMatrix([0, 0, 0, 1], [0, 1, 2, 0], [1, 1, 1, 1], (2, 3))
+        ell = ELLMatrix.from_coo(coo)
+        assert ell.width == 3
+
+    def test_explicit_width_pads(self):
+        coo = COOMatrix([0], [0], [1.0], (2, 2))
+        ell = ELLMatrix.from_coo(coo, width=4)
+        assert ell.width == 4
+        assert ell.padded_entries == 8
+        assert ell.nnz == 1
+
+    def test_rejects_width_smaller_than_row(self):
+        coo = COOMatrix([0, 0], [0, 1], [1.0, 1.0], (1, 2))
+        with pytest.raises(FormatNotApplicableError):
+            ELLMatrix.from_coo(coo, width=1)
+
+    def test_rejects_skewed_matrix(self):
+        # One hub row of 200, many singletons: padding explodes.
+        rows = np.concatenate([np.zeros(200, dtype=int),
+                               np.arange(1, 400)])
+        cols = np.concatenate([np.arange(200), np.zeros(399, dtype=int)])
+        coo = COOMatrix.from_unsorted(
+            rows, cols, np.ones(rows.size), (400, 400)
+        )
+        with pytest.raises(FormatNotApplicableError):
+            ELLMatrix.from_coo(coo)
+
+    def test_padding_limit_can_be_disabled(self):
+        rows = np.concatenate([np.zeros(200, dtype=int),
+                               np.arange(1, 400)])
+        cols = np.concatenate([np.arange(200), np.zeros(399, dtype=int)])
+        coo = COOMatrix.from_unsorted(
+            rows, cols, np.ones(rows.size), (400, 400)
+        )
+        ell = ELLMatrix.from_coo(coo, enforce_padding_limit=False)
+        assert ell.width == 200
+
+    def test_empty_matrix(self):
+        ell = ELLMatrix.from_coo(COOMatrix([], [], [], (3, 3)))
+        assert ell.width == 0
+        assert np.allclose(ell.spmv(np.ones(3)), 0)
+
+    def test_row_lengths(self):
+        coo = COOMatrix([0, 0, 1], [0, 1, 2], [1, 1, 1], (3, 3))
+        ell = ELLMatrix.from_coo(coo)
+        assert list(ell.row_lengths()) == [2, 1, 0]
+
+    def test_nbytes_includes_padding(self):
+        coo = COOMatrix([0], [0], [1.0], (4, 4))
+        ell = ELLMatrix.from_coo(coo, width=2)
+        assert ell.nbytes == 4 * 2 * 8  # 8 slots x (4B value + 4B index)
+
+
+class TestChooseEllWidth:
+    def test_uniform_rows(self):
+        assert choose_ell_width(np.full(100, 5)) == 5
+
+    def test_empty(self):
+        assert choose_ell_width(np.array([])) == 0
+
+    def test_all_zero(self):
+        assert choose_ell_width(np.zeros(10, dtype=int)) == 0
+
+    def test_skewed_rows_truncate(self):
+        lengths = np.concatenate([np.full(90, 2), np.full(10, 100)])
+        width = choose_ell_width(lengths)
+        assert width == 2  # only 10% of rows reach past 2
+
+    def test_threshold_semantics(self):
+        # Exactly threshold fraction of rows at length 4.
+        n = 90
+        k = int(np.ceil(HYB_ELL_THRESHOLD * n))
+        lengths = np.concatenate([np.full(n - k, 1), np.full(k, 4)])
+        assert choose_ell_width(lengths) == 4
+
+
+class TestHYB:
+    def test_roundtrip(self):
+        coo = random_coo(20, 20, 100, seed=4)
+        hyb = HYBMatrix.from_coo(coo)
+        assert np.allclose(hyb.to_coo().to_dense(), coo.to_dense())
+
+    def test_spmv_matches_dense(self):
+        coo = random_coo(25, 25, 160, seed=5)
+        hyb = HYBMatrix.from_coo(coo)
+        x = np.random.default_rng(6).random(25)
+        assert np.allclose(hyb.spmv(x), coo.to_dense() @ x)
+
+    def test_nnz_split_preserved(self):
+        coo = random_coo(30, 30, 150, seed=7)
+        hyb = HYBMatrix.from_coo(coo)
+        assert hyb.ell.nnz + hyb.coo.nnz == coo.nnz
+
+    def test_explicit_width_zero_means_pure_coo(self):
+        coo = random_coo(10, 10, 40, seed=8)
+        hyb = HYBMatrix.from_coo(coo, ell_width=0)
+        assert hyb.ell.nnz == 0
+        assert hyb.coo.nnz == coo.nnz
+
+    def test_large_width_means_pure_ell(self):
+        coo = random_coo(10, 10, 40, seed=9)
+        max_len = int(coo.row_lengths().max())
+        hyb = HYBMatrix.from_coo(coo, ell_width=max_len)
+        assert hyb.coo.nnz == 0
+
+    def test_powerlaw_split(self, powerlaw_matrix):
+        hyb = HYBMatrix.from_coo(powerlaw_matrix)
+        # The hub rows must spill to COO.
+        assert hyb.coo.nnz > 0
+        assert hyb.ell.nnz > 0
+        x = np.random.default_rng(1).random(powerlaw_matrix.n_cols)
+        assert np.allclose(hyb.spmv(x), powerlaw_matrix.spmv(x))
+
+    def test_shape_mismatch_rejected(self):
+        ell = ELLMatrix.from_coo(COOMatrix([], [], [], (2, 2)))
+        coo = COOMatrix([], [], [], (3, 3))
+        with pytest.raises(ValidationError):
+            HYBMatrix(ell, coo)

@@ -1,0 +1,146 @@
+"""Unit and property tests for the texture-cache models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.gpu.cache import (
+    che_characteristic_time,
+    che_hit_rates,
+    line_access_counts,
+    overall_hit_rate,
+    tile_hit_rate,
+)
+
+
+class TestLineAccessCounts:
+    def test_identity_when_one_float_per_line(self):
+        counts = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(line_access_counts(counts, 1), counts)
+
+    def test_aggregates_neighbours(self):
+        counts = np.array([1, 2, 3, 4, 5])
+        lines = line_access_counts(counts, 2)
+        assert np.allclose(lines, [3, 7, 5])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            line_access_counts(np.ones((2, 2)), 2)
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValidationError):
+            line_access_counts(np.ones(4), 0)
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(0, 10, 100).astype(float)
+        assert line_access_counts(counts, 8).sum() == counts.sum()
+
+
+class TestCheCharacteristicTime:
+    def test_infinite_when_everything_fits(self):
+        counts = np.ones(10)
+        assert np.isinf(che_characteristic_time(counts, 10))
+
+    def test_finite_when_oversubscribed(self):
+        counts = np.ones(100)
+        t = che_characteristic_time(counts, 10)
+        assert 0 < t < np.inf
+
+    def test_uniform_closed_form(self):
+        # Uniform popularity: occupancy = n(1 - e^{-t/n}) = C.
+        n, cache = 1000, 100
+        t = che_characteristic_time(np.ones(n), cache)
+        occupancy = n * (1 - np.exp(-t / n))
+        assert occupancy == pytest.approx(cache, rel=1e-6)
+
+    def test_rejects_nonpositive_cache(self):
+        with pytest.raises(ValidationError):
+            che_characteristic_time(np.ones(5), 0)
+
+    def test_empty_counts(self):
+        assert che_characteristic_time(np.array([]), 4) == 0.0
+
+
+class TestCheHitRates:
+    def test_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        counts = rng.pareto(1.5, 500) * 10
+        rates = che_hit_rates(counts, 50)
+        assert np.all(rates >= 0)
+        assert np.all(rates <= 1)
+
+    def test_popular_items_hit_more(self):
+        counts = np.concatenate([np.full(10, 1000.0), np.full(1000, 1.0)])
+        rates = che_hit_rates(counts, 50)
+        assert rates[:10].min() > rates[10:].max()
+
+    def test_zero_counts_get_zero(self):
+        counts = np.array([5.0, 0.0, 5.0])
+        rates = che_hit_rates(counts, 1)
+        assert rates[1] == 0.0
+
+    def test_all_zero(self):
+        assert np.allclose(che_hit_rates(np.zeros(5), 4), 0.0)
+
+
+class TestOverallHitRate:
+    def test_uniform_large_working_set_low_hit(self):
+        rate = overall_hit_rate(np.ones(100_000), 100)
+        assert rate < 0.01
+
+    def test_fits_in_cache_high_hit(self):
+        # 10 lines, 100 accesses each, cache of 64: only compulsory misses.
+        rate = overall_hit_rate(np.full(10, 100.0), 64)
+        assert rate == pytest.approx(1 - 10 / 1000)
+
+    def test_monotone_in_cache_size(self):
+        rng = np.random.default_rng(2)
+        counts = (rng.pareto(1.2, 2000) * 5 + 1).astype(float)
+        rates = [
+            overall_hit_rate(counts, c) for c in (16, 64, 256, 1024)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_skewed_beats_uniform(self):
+        # Same volume, same cache: skew concentrates reuse -> more hits.
+        uniform = np.full(1000, 10.0)
+        skewed = np.concatenate([np.full(10, 901.0), np.full(990, 1.0)])
+        cache = 50
+        assert overall_hit_rate(skewed, cache) > overall_hit_rate(
+            uniform, cache
+        )
+
+    def test_empty(self):
+        assert overall_hit_rate(np.zeros(5), 10) == 0.0
+
+
+class TestTileHitRate:
+    def test_no_reuse_means_zero(self):
+        assert tile_hit_rate(100, 100) == 0.0
+
+    def test_full_reuse(self):
+        assert tile_hit_rate(1, 1000) == pytest.approx(0.999)
+
+    def test_zero_accesses(self):
+        assert tile_hit_rate(0, 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            tile_hit_rate(-1, 10)
+
+    def test_clamps_distinct_above_accesses(self):
+        assert tile_hit_rate(50, 10) == 0.0
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    cache=st.integers(1, 512),
+)
+@settings(max_examples=40, deadline=None)
+def test_overall_hit_rate_bounded(seed, cache):
+    rng = np.random.default_rng(seed)
+    counts = (rng.pareto(1.3, 300) * 4).astype(float)
+    rate = overall_hit_rate(counts, cache)
+    assert 0.0 <= rate <= 1.0

@@ -1,0 +1,103 @@
+"""Validation of Che's approximation against exact LRU simulation.
+
+The whole cost model leans on the analytic cache model; these tests
+quantify its error against a real LRU on (a) ideal IRM traces, where it
+should be tight, and (b) actual SpMV column traces of power-law
+matrices, where correlation makes it approximate but it must stay
+within a usable band.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gpu.cache import line_access_counts, overall_hit_rate
+from repro.gpu.cache_sim import irm_trace, simulate_lru, spmv_trace
+from repro.graphs.chung_lu import chung_lu_graph
+
+
+class TestSimulateLRU:
+    def test_all_hits_after_compulsory(self):
+        trace = np.tile(np.arange(4), 25)
+        rate = simulate_lru(trace, 8)
+        assert rate == pytest.approx(1 - 4 / 100)
+
+    def test_thrashing(self):
+        # Cyclic access to capacity+1 items: LRU never hits.
+        trace = np.tile(np.arange(9), 20)
+        assert simulate_lru(trace, 8) == 0.0
+
+    def test_capacity_one(self):
+        trace = np.array([0, 0, 1, 1, 0])
+        assert simulate_lru(trace, 1) == pytest.approx(2 / 5)
+
+    def test_empty_trace(self):
+        assert simulate_lru(np.array([]), 4) == 0.0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValidationError):
+            simulate_lru(np.array([1]), 0)
+
+
+class TestTraceGenerators:
+    def test_irm_respects_popularity(self):
+        counts = np.array([100.0, 1.0, 1.0, 1.0])
+        trace = irm_trace(counts, 5000, seed=1)
+        freq = np.bincount(trace, minlength=4) / 5000
+        assert freq[0] > 0.9
+
+    def test_irm_validation(self):
+        with pytest.raises(ValidationError):
+            irm_trace(np.zeros(3), 10)
+        with pytest.raises(ValidationError):
+            irm_trace(np.ones(3), -1)
+
+    def test_spmv_trace_maps_lines(self):
+        trace = spmv_trace(np.array([0, 7, 8, 15, 16]), 8)
+        assert list(trace) == [0, 0, 1, 1, 2]
+
+    def test_spmv_trace_validation(self):
+        with pytest.raises(ValidationError):
+            spmv_trace(np.array([1]), 0)
+
+
+class TestCheAccuracy:
+    @pytest.mark.parametrize("capacity", [32, 128, 512])
+    def test_irm_zipf_within_tolerance(self, capacity):
+        """On ideal IRM traces Che is tight (the regime it is exact in
+        asymptotically)."""
+        rng = np.random.default_rng(7)
+        counts = (rng.pareto(1.3, 2000) * 5 + 1).astype(float)
+        n_accesses = 60_000
+        trace = irm_trace(counts, n_accesses, seed=8)
+        # Feed Che the *realised* trace frequencies so both sides see
+        # the same workload.
+        realised = np.bincount(trace, minlength=counts.size).astype(float)
+        analytic = overall_hit_rate(realised, capacity)
+        exact = simulate_lru(trace, capacity)
+        assert analytic == pytest.approx(exact, abs=0.06)
+
+    def test_real_spmv_trace_within_band(self):
+        """On the correlated trace of a real power-law SpMV the
+        approximation must stay within a usable band (it feeds a cost
+        model, not a cache controller)."""
+        graph = chung_lu_graph(4000, 60_000, exponent=2.1, seed=9)
+        floats_per_line = 8
+        trace = spmv_trace(graph.cols, floats_per_line)
+        lines = line_access_counts(
+            graph.col_lengths(), floats_per_line
+        )
+        for capacity in (64, 256):
+            analytic = overall_hit_rate(lines, capacity)
+            exact = simulate_lru(trace, capacity)
+            assert analytic == pytest.approx(exact, abs=0.15)
+
+    def test_che_monotone_like_lru(self):
+        """Both models must agree that more cache never hurts."""
+        rng = np.random.default_rng(10)
+        counts = (rng.pareto(1.5, 500) * 3 + 1).astype(float)
+        trace = irm_trace(counts, 20_000, seed=11)
+        exact = [simulate_lru(trace, c) for c in (16, 64, 256)]
+        analytic = [overall_hit_rate(counts, c) for c in (16, 64, 256)]
+        assert exact == sorted(exact)
+        assert analytic == sorted(analytic)

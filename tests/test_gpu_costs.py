@@ -1,0 +1,152 @@
+"""Unit tests for CostReport accounting."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gpu.costs import CostReport
+from repro.gpu.launch import kernel_launch_seconds, pcie_transfer_seconds
+from repro.gpu.spec import DeviceSpec
+
+
+@pytest.fixture
+def dev():
+    return DeviceSpec.tesla_c1060()
+
+
+def make_report(dev, **overrides):
+    kwargs = dict(
+        device=dev,
+        flops=2e6,
+        algorithmic_bytes=12e6,
+        dram_bytes=10e6,
+        compute_seconds=5e-5,
+        overhead_seconds=1e-5,
+    )
+    kwargs.update(overrides)
+    return CostReport.from_tallies("test", **kwargs)
+
+
+class TestFromTallies:
+    def test_memory_bound_takes_max(self, dev):
+        r = make_report(dev)
+        assert r.memory_seconds == pytest.approx(10e6 / dev.global_bandwidth)
+        assert r.time_seconds == pytest.approx(
+            max(r.memory_seconds, r.compute_seconds) + 1e-5
+        )
+
+    def test_compute_bound(self, dev):
+        r = make_report(dev, compute_seconds=1.0)
+        assert not r.memory_bound
+        assert r.time_seconds == pytest.approx(1.0 + 1e-5)
+
+    def test_bandwidth_efficiency_slows_memory(self, dev):
+        full = make_report(dev)
+        half = make_report(dev, bandwidth_efficiency=0.5)
+        assert half.memory_seconds == pytest.approx(2 * full.memory_seconds)
+
+    def test_rejects_bad_efficiency(self, dev):
+        with pytest.raises(ValidationError):
+            make_report(dev, bandwidth_efficiency=0.0)
+        with pytest.raises(ValidationError):
+            make_report(dev, bandwidth_efficiency=1.5)
+
+    def test_rejects_negative_tallies(self, dev):
+        with pytest.raises(ValidationError):
+            make_report(dev, flops=-1)
+        with pytest.raises(ValidationError):
+            make_report(dev, compute_seconds=-1e-6)
+
+
+class TestMetrics:
+    def test_gflops(self, dev):
+        r = make_report(dev)
+        assert r.gflops == pytest.approx(r.flops / r.time_seconds / 1e9)
+
+    def test_bandwidth(self, dev):
+        r = make_report(dev)
+        assert r.bandwidth_gbs == pytest.approx(
+            r.algorithmic_bytes / r.time_seconds / 1e9
+        )
+
+    def test_zero_report_metrics(self):
+        z = CostReport.zero()
+        assert z.gflops == 0.0
+        assert z.bandwidth_gbs == 0.0
+
+    def test_summary_mentions_label(self, dev):
+        assert "test" in make_report(dev).summary()
+
+
+class TestAlgebra:
+    def test_addition_sums_everything(self, dev):
+        a, b = make_report(dev), make_report(dev)
+        total = a + b
+        assert total.flops == a.flops + b.flops
+        assert total.time_seconds == pytest.approx(
+            a.time_seconds + b.time_seconds
+        )
+
+    def test_sum_builtin(self, dev):
+        reports = [make_report(dev) for _ in range(3)]
+        total = sum(reports, CostReport.zero())
+        assert total.flops == 3 * reports[0].flops
+
+    def test_zero_is_identity(self, dev):
+        r = make_report(dev)
+        total = r + CostReport.zero()
+        assert total.time_seconds == r.time_seconds
+        assert total.label == "test"
+
+    def test_scaled(self, dev):
+        r = make_report(dev)
+        doubled = r.scaled(2)
+        assert doubled.flops == 2 * r.flops
+        assert doubled.time_seconds == pytest.approx(2 * r.time_seconds)
+        assert doubled.gflops == pytest.approx(r.gflops)
+
+    def test_scaled_rejects_negative(self, dev):
+        with pytest.raises(ValidationError):
+            make_report(dev).scaled(-1)
+
+    def test_relabel(self, dev):
+        r = make_report(dev).relabel("renamed")
+        assert r.label == "renamed"
+
+    def test_overhead_report(self):
+        r = CostReport.overhead("launch", 1e-6)
+        assert r.time_seconds == 1e-6
+        assert r.flops == 0
+
+
+class TestLaunchHelpers:
+    def test_kernel_launch(self, dev):
+        assert kernel_launch_seconds(3, dev) == pytest.approx(
+            3 * dev.kernel_launch_seconds
+        )
+
+    def test_kernel_launch_rejects_negative(self, dev):
+        with pytest.raises(ValidationError):
+            kernel_launch_seconds(-1, dev)
+
+    def test_pcie(self, dev):
+        assert pcie_transfer_seconds(8e9, dev) == pytest.approx(1.0)
+
+    def test_pcie_rejects_negative(self, dev):
+        with pytest.raises(ValidationError):
+            pcie_transfer_seconds(-1, dev)
+
+
+class TestDeviceSpec:
+    def test_c1060_constants(self, dev):
+        assert dev.max_active_warps == 960
+        assert dev.tile_width_columns == 65536
+        assert dev.cycles_per_warp_instruction == 4
+        assert dev.partition_stride_bytes == 2048
+
+    def test_scaled_override(self, dev):
+        small = dev.scaled(texture_cache_bytes=1024)
+        assert small.tile_width_columns == 256
+        assert small.sm_count == dev.sm_count
+
+    def test_peak_flops_positive(self, dev):
+        assert dev.peak_flops > 1e11

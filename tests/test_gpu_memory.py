@@ -1,0 +1,120 @@
+"""Unit tests for the global-memory transaction model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gpu.memory import (
+    bandwidth_saturation,
+    partition_efficiency,
+    partition_histogram,
+    random_access_bytes,
+    segment_count,
+    streamed_bytes,
+)
+from repro.gpu.spec import DeviceSpec
+
+
+@pytest.fixture
+def dev():
+    return DeviceSpec.tesla_c1060()
+
+
+class TestStreamedBytes:
+    def test_rounds_to_segments(self, dev):
+        assert streamed_bytes(1, dev) == 128
+        assert streamed_bytes(128, dev) == 128
+        assert streamed_bytes(129, dev) == 256
+
+    def test_zero(self, dev):
+        assert streamed_bytes(0, dev) == 0.0
+
+    def test_rejects_negative(self, dev):
+        with pytest.raises(ValidationError):
+            streamed_bytes(-1, dev)
+
+    def test_large_stream_overhead_vanishes(self, dev):
+        logical = 10_000_000
+        assert streamed_bytes(logical, dev) / logical < 1.001
+
+
+class TestSegmentCount:
+    def test_basic(self, dev):
+        assert segment_count(0, dev) == 0
+        assert segment_count(1, dev) == 1
+        assert segment_count(256, dev) == 2
+
+
+class TestRandomAccessBytes:
+    def test_minimum_transaction(self, dev):
+        assert random_access_bytes(10, dev) == 10 * 32
+
+    def test_larger_elements(self, dev):
+        assert random_access_bytes(10, dev, element_bytes=64) == 640
+
+    def test_rejects_negative(self, dev):
+        with pytest.raises(ValidationError):
+            random_access_bytes(-5, dev)
+
+
+class TestPartitionHistogram:
+    def test_same_offsets_one_partition(self, dev):
+        offsets = np.zeros(16, dtype=np.int64)
+        hist = partition_histogram(offsets, dev)
+        assert hist[0] == 16
+        assert hist[1:].sum() == 0
+
+    def test_spread_offsets(self, dev):
+        offsets = np.arange(8) * dev.partition_width_bytes
+        hist = partition_histogram(offsets, dev)
+        assert np.all(hist == 1)
+
+    def test_wraps_at_stride(self, dev):
+        offsets = np.array([0, dev.partition_stride_bytes])
+        hist = partition_histogram(offsets, dev)
+        assert hist[0] == 2
+
+
+class TestPartitionEfficiency:
+    def test_few_streams_no_penalty(self, dev):
+        assert partition_efficiency(np.zeros(4, dtype=np.int64), dev) == 1.0
+
+    def test_all_camped(self, dev):
+        offsets = np.zeros(960, dtype=np.int64)
+        eff = partition_efficiency(offsets, dev)
+        assert eff == pytest.approx(1 / dev.memory_partitions, rel=0.15)
+
+    def test_uniform_no_penalty(self, dev):
+        offsets = (
+            np.arange(960) % dev.memory_partitions
+        ) * dev.partition_width_bytes
+        assert partition_efficiency(offsets, dev) == 1.0
+
+    def test_random_phases_mostly_unpunished(self, dev):
+        rng = np.random.default_rng(0)
+        offsets = rng.integers(0, 1 << 20, 960)
+        assert partition_efficiency(offsets, dev) > 0.85
+
+    def test_bounded_below(self, dev):
+        offsets = np.zeros(10_000, dtype=np.int64)
+        assert partition_efficiency(offsets, dev) >= 1 / dev.memory_partitions
+
+
+class TestBandwidthSaturation:
+    def test_many_warps_saturate(self, dev):
+        assert bandwidth_saturation(960, dev) == 1.0
+
+    def test_few_warps_limited(self, dev):
+        sat = bandwidth_saturation(4, dev)
+        assert 0 < sat < 1
+
+    def test_monotone(self, dev):
+        sats = [bandwidth_saturation(n, dev) for n in (1, 10, 100, 1000)]
+        assert sats == sorted(sats)
+
+    def test_zero_warps(self, dev):
+        assert bandwidth_saturation(0, dev) == 1.0
+
+    def test_low_latency_device_saturates_easily(self, dev):
+        fast = dev.scaled(global_latency_cycles=1.0)
+        assert bandwidth_saturation(2, fast) == 1.0

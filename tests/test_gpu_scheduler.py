@@ -1,0 +1,91 @@
+"""Unit tests for the warp scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.gpu.scheduler import schedule_warps
+from repro.gpu.spec import DeviceSpec
+
+
+@pytest.fixture
+def dev():
+    return DeviceSpec.tesla_c1060()
+
+
+class TestScheduleWarps:
+    def test_empty(self, dev):
+        s = schedule_warps(np.array([]), dev)
+        assert s.warp_count == 0
+        assert s.seconds == 0.0
+        assert s.iterations == 0
+
+    def test_rejects_negative_cycles(self, dev):
+        with pytest.raises(ValidationError):
+            schedule_warps(np.array([1.0, -2.0]), dev)
+
+    def test_iteration_count_equation_1(self, dev):
+        # Equation 1: I = ceil(total / max_active).
+        for n in (1, 960, 961, 5000):
+            s = schedule_warps(np.ones(n), dev)
+            assert s.iterations == -(-n // dev.max_active_warps)
+
+    def test_single_warp_dominates(self, dev):
+        cycles = np.ones(100)
+        cycles[0] = 1e6
+        s = schedule_warps(cycles, dev)
+        assert s.scheduled_cycles >= 1e6
+
+    def test_balanced_load_near_ideal(self, dev):
+        cycles = np.full(dev.max_active_warps, 1e5)
+        s = schedule_warps(cycles, dev)
+        ideal = cycles.sum() / dev.sm_count
+        assert s.scheduled_cycles == pytest.approx(ideal, rel=0.02)
+
+    def test_imbalance_at_least_one(self, dev):
+        rng = np.random.default_rng(0)
+        cycles = rng.pareto(1.5, 2000) * 1000 + 10
+        s = schedule_warps(cycles, dev)
+        assert s.imbalance * cycles.sum() / dev.sm_count >= 0
+
+    def test_more_work_more_time(self, dev):
+        fast = schedule_warps(np.full(500, 100.0), dev)
+        slow = schedule_warps(np.full(500, 1000.0), dev)
+        assert slow.seconds > fast.seconds
+
+    def test_latency_exposure_at_low_occupancy(self, dev):
+        one = schedule_warps(np.array([10.0]), dev)
+        # One warp: almost the full memory latency is exposed.
+        assert one.scheduled_cycles >= dev.global_latency_cycles * 0.9
+
+    def test_sort_false_respects_order(self, dev):
+        cycles = np.array([1.0, 1000.0])
+        s = schedule_warps(cycles, dev, sort=False)
+        assert s.warp_count == 2
+
+    def test_seconds_scale_with_clock(self, dev):
+        cycles = np.full(960, 1e4)
+        slow_dev = dev.scaled(clock_hz=dev.clock_hz / 2)
+        fast = schedule_warps(cycles, dev)
+        slow = schedule_warps(cycles, slow_dev)
+        assert slow.seconds == pytest.approx(2 * fast.seconds, rel=1e-6)
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(1, 3000),
+)
+@settings(max_examples=30, deadline=None)
+def test_schedule_bounds(seed, n):
+    """Scheduled time is never below the ideal and never above the
+    serial sum (plus latency exposure)."""
+    dev = DeviceSpec.tesla_c1060()
+    rng = np.random.default_rng(seed)
+    cycles = rng.integers(1, 10_000, n).astype(float)
+    s = schedule_warps(cycles, dev)
+    ideal = cycles.sum() / dev.sm_count
+    iterations = -(-n // dev.max_active_warps)
+    assert s.scheduled_cycles >= ideal - 1e-9
+    serial_bound = cycles.sum() + iterations * dev.global_latency_cycles
+    assert s.scheduled_cycles <= serial_bound + cycles.max() * iterations

@@ -1,0 +1,114 @@
+"""MatrixMarket I/O and text-rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.formats.coo import COOMatrix
+from repro.io.matrix_market import read_matrix_market, write_matrix_market
+from repro.plotting import ascii_bar_chart, ascii_table, format_value
+
+from tests.conftest import random_coo
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path):
+        m = random_coo(12, 9, 40, seed=1)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(m, path)
+        again = read_matrix_market(path)
+        assert again.shape == m.shape
+        assert np.allclose(again.to_dense(), m.to_dense())
+
+    def test_empty_matrix_roundtrip(self, tmp_path):
+        m = COOMatrix([], [], [], (4, 7))
+        path = tmp_path / "empty.mtx"
+        write_matrix_market(m, path)
+        again = read_matrix_market(path)
+        assert again.shape == (4, 7)
+        assert again.nnz == 0
+
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 3 2\n1 2\n3 1\n"
+        )
+        m = read_matrix_market(path)
+        assert m.nnz == 2
+        assert m.to_dense()[0, 1] == 1.0
+
+    def test_symmetric(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n2 1 5.0\n3 3 7.0\n"
+        )
+        m = read_matrix_market(path)
+        dense = m.to_dense()
+        assert dense[1, 0] == 5.0
+        assert dense[0, 1] == 5.0
+        assert dense[2, 2] == 7.0
+        assert m.nnz == 3
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n"
+            "2 2 1\n1 1 3.5\n"
+        )
+        assert read_matrix_market(path).to_dense()[0, 0] == 3.5
+
+    def test_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("not a matrix\n1 1 0\n")
+        with pytest.raises(ValidationError):
+            read_matrix_market(path)
+
+    def test_rejects_wrong_count(self, tmp_path):
+        path = tmp_path / "bad2.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 3\n1 1 1.0\n"
+        )
+        with pytest.raises(ValidationError):
+            read_matrix_market(path)
+
+    def test_rejects_array_format(self, tmp_path):
+        path = tmp_path / "bad3.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n")
+        with pytest.raises(ValidationError):
+            read_matrix_market(path)
+
+
+class TestPlotting:
+    def test_format_value(self):
+        assert format_value(1.2345) == "1.23"
+        assert format_value(0.0) == "0"
+        assert format_value(float("nan")) == "-"
+        assert format_value("abc") == "abc"
+        assert format_value(12) == "12"
+        assert "e" in format_value(1e9)
+
+    def test_table_alignment(self):
+        out = ascii_table(
+            ["name", "gflops"],
+            [["hyb", 3.5], ["tile-composite", 7.0]],
+            title="Figure 2",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Figure 2"
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_bar_chart(self):
+        out = ascii_bar_chart(
+            ["a", "bb"], [1.0, 2.0], title="t", unit=" GF"
+        )
+        assert "##" in out
+        assert "GF" in out
+
+    def test_bar_chart_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])

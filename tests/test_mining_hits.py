@@ -1,0 +1,89 @@
+"""HITS: correctness against networkx and the combined-matrix algebra."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.formats.coo import COOMatrix
+from repro.graphs.chung_lu import chung_lu_graph
+from repro.mining.hits import hits, hits_operator
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu_graph(200, 2000, seed=41)
+
+
+class TestOperator:
+    def test_block_structure(self, graph):
+        op = hits_operator(graph)
+        n = graph.n_rows
+        dense = op.to_dense()
+        a = graph.to_dense()
+        assert np.allclose(dense[:n, n:], a.T)
+        assert np.allclose(dense[n:, :n], a)
+        assert np.allclose(dense[:n, :n], 0)
+        assert np.allclose(dense[n:, n:], 0)
+
+    def test_doubles_nnz(self, graph):
+        assert hits_operator(graph).nnz == 2 * graph.nnz
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValidationError):
+            hits_operator(COOMatrix([0], [1], [1.0], (2, 3)))
+
+
+class TestHITS:
+    def test_matches_networkx(self, graph):
+        result = hits(graph, kernel="coo", tol=1e-12, max_iter=500)
+        n = graph.n_rows
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(zip(graph.rows.tolist(), graph.cols.tolist()))
+        h_nx, a_nx = nx.hits(g, max_iter=1000, tol=1e-12)
+        ours_auth = result.vector[:n] / result.vector[:n].sum()
+        theirs_auth = np.array([a_nx[i] for i in range(n)])
+        theirs_auth /= theirs_auth.sum()
+        top_ours = set(np.argsort(ours_auth)[::-1][:5])
+        top_theirs = set(np.argsort(theirs_auth)[::-1][:5])
+        assert len(top_ours & top_theirs) >= 4
+
+    def test_halves_normalised(self, graph):
+        result = hits(graph, kernel="hyb", tol=1e-10)
+        n = graph.n_rows
+        assert result.vector[:n].sum() == pytest.approx(1.0)
+        assert result.vector[n:].sum() == pytest.approx(1.0)
+
+    def test_converges(self, graph):
+        assert hits(graph, kernel="coo", tol=1e-10).converged
+
+    def test_kernels_agree(self, graph):
+        base = hits(graph, kernel="coo", tol=1e-12).vector
+        other = hits(graph, kernel="tile-composite", tol=1e-12).vector
+        assert np.allclose(base, other, atol=1e-8)
+
+    def test_authority_on_pointed_to_node(self):
+        # Everyone points at node 0: it has maximal authority; all the
+        # pointers share the hub score.
+        n = 20
+        src = np.arange(1, n)
+        dst = np.zeros(n - 1, dtype=int)
+        star = COOMatrix.from_edges(src, dst, (n, n))
+        result = hits(star, kernel="coo")
+        auth = result.vector[:n]
+        hubs = result.vector[n:]
+        assert np.argmax(auth) == 0
+        assert hubs[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_cost_includes_vector_kernels(self, graph):
+        result = hits(graph, kernel="hyb")
+        # Per-iteration cost must exceed the bare SpMV cost.
+        from repro.kernels import create
+        from repro.mining.hits import hits_operator
+
+        spmv = create("hyb", hits_operator(graph))
+        assert (
+            result.per_iteration.time_seconds
+            > spmv.cost().time_seconds
+        )

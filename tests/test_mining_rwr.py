@@ -1,0 +1,95 @@
+"""Random Walk with Restart: correctness against the closed form."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.formats.coo import COOMatrix
+from repro.graphs.chung_lu import chung_lu_graph
+from repro.mining.rwr import random_walk_with_restart, rwr_operator
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu_graph(150, 1200, seed=51)
+
+
+class TestOperator:
+    def test_symmetrised(self, graph):
+        op = rwr_operator(graph)
+        # Underlying structure must be symmetric (undirected links).
+        dense = op.to_dense()
+        assert np.array_equal(dense > 0, (dense > 0).T)
+
+    def test_column_stochastic(self, graph):
+        dense = rwr_operator(graph).to_dense()
+        sums = dense.sum(axis=0)
+        nonzero = sums > 0
+        assert np.allclose(sums[nonzero], 1.0)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValidationError):
+            rwr_operator(COOMatrix([0], [1], [1.0], (2, 3)))
+
+
+class TestRWR:
+    def test_matches_closed_form(self, graph):
+        c = 0.9
+        query = 7
+        result = random_walk_with_restart(
+            graph, kernel="coo", restart=c,
+            queries=np.array([query]), tol=1e-14, max_iter=2000,
+        )
+        w = rwr_operator(graph).to_dense()
+        n = w.shape[0]
+        e = np.zeros(n)
+        e[query] = 1.0
+        closed = (1 - c) * np.linalg.solve(np.eye(n) - c * w, e)
+        assert np.allclose(result.vector, closed, atol=1e-8)
+
+    def test_query_node_most_relevant(self, graph):
+        query = 3
+        result = random_walk_with_restart(
+            graph, kernel="hyb", queries=np.array([query]), tol=1e-12
+        )
+        assert np.argmax(result.vector) == query
+
+    def test_default_queries_deterministic(self, graph):
+        a = random_walk_with_restart(graph, kernel="coo", seed=5)
+        b = random_walk_with_restart(graph, kernel="coo", seed=5)
+        assert np.array_equal(a.extra["queries"], b.extra["queries"])
+
+    def test_mean_cost_over_queries(self, graph):
+        result = random_walk_with_restart(
+            graph, kernel="coo", n_queries=5, tol=1e-10
+        )
+        counts = result.extra["per_query_iterations"]
+        assert len(counts) == 5
+        expected = result.per_iteration.time_seconds * np.mean(counts)
+        assert result.total_cost.time_seconds == pytest.approx(expected)
+
+    def test_rejects_bad_restart(self, graph):
+        with pytest.raises(ValidationError):
+            random_walk_with_restart(graph, restart=1.0)
+
+    def test_rejects_out_of_range_query(self, graph):
+        with pytest.raises(ValidationError):
+            random_walk_with_restart(
+                graph, queries=np.array([10_000])
+            )
+
+    def test_rejects_empty_queries(self, graph):
+        with pytest.raises(ValidationError):
+            random_walk_with_restart(
+                graph, queries=np.array([], dtype=int)
+            )
+
+    def test_kernels_agree(self, graph):
+        q = np.array([11])
+        base = random_walk_with_restart(
+            graph, kernel="coo", queries=q, tol=1e-12
+        ).vector
+        other = random_walk_with_restart(
+            graph, kernel="tile-composite", queries=q, tol=1e-12
+        ).vector
+        assert np.allclose(base, other, atol=1e-8)

@@ -1,0 +1,167 @@
+"""Remaining unit coverage: vector kernels, x-access models, the COO
+divergence model, Equations 1-5 by hand, package surface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.lookup import LookupTable
+from repro.core.perf_model import predict_workloads_seconds
+from repro.core.workload import STORAGE_CSR, WorkloadSet
+from repro.errors import ReproError, ValidationError
+from repro.gpu.spec import DeviceSpec
+from repro.kernels.coo import coo_warp_instructions
+from repro.kernels.xaccess import untiled_x_cost
+from repro.mining.vector_kernels import (
+    axpy_cost,
+    reduction_cost,
+    scale_cost,
+)
+
+
+@pytest.fixture
+def dev():
+    return DeviceSpec.tesla_c1060()
+
+
+class TestVectorKernels:
+    def test_costs_positive_and_ordered(self, dev):
+        n = 100_000
+        red = reduction_cost(n, dev)
+        axpy = axpy_cost(n, dev)
+        scale = scale_cost(n, dev)
+        for report in (red, axpy, scale):
+            assert report.time_seconds > 0
+        # axpy moves 12n bytes, scale 8n: axpy must not be cheaper.
+        assert axpy.time_seconds >= scale.time_seconds
+
+    def test_scaling_with_n(self, dev):
+        assert (
+            axpy_cost(1_000_000, dev).time_seconds
+            > axpy_cost(1_000, dev).time_seconds
+        )
+
+    def test_launch_overhead_included(self, dev):
+        assert reduction_cost(10, dev).overhead_seconds > 0
+
+
+class TestCooDivergenceModel:
+    def test_more_boundaries_more_instructions(self, dev):
+        nnz = 32_000
+        # One row (no boundaries) vs one row per element (all
+        # boundaries).
+        one_row = np.zeros(nnz, dtype=np.int64)
+        many_rows = np.arange(nnz, dtype=np.int64)
+        i_one = coo_warp_instructions(one_row, nnz, 960, dev)
+        i_many = coo_warp_instructions(many_rows, nnz, 960, dev)
+        assert i_many.sum() > i_one.sum()
+
+    def test_empty(self, dev):
+        assert coo_warp_instructions(
+            np.zeros(0, dtype=np.int64), 0, 0, dev
+        ).size == 0
+
+    def test_miss_replay_adds_cost(self, dev):
+        rows = np.zeros(1000, dtype=np.int64)
+        base = coo_warp_instructions(rows, 1000, 32, dev)
+        replay = coo_warp_instructions(rows, 1000, 32, dev, misses=500)
+        assert replay.sum() > base.sum()
+
+
+class TestXAccess:
+    def test_misses_consistent(self, dev):
+        counts = np.random.default_rng(0).integers(0, 50, 100_000)
+        cost = untiled_x_cost(counts, dev)
+        assert cost.misses == pytest.approx(
+            cost.accesses * (1 - cost.hit_rate)
+        )
+        assert cost.dram_bytes == pytest.approx(
+            cost.misses * dev.texture_line_bytes
+        )
+
+
+class TestEquations1to5ByHand:
+    def test_two_iteration_model(self, dev):
+        """960 identical warps + 1 straggler warp: Equation 1 gives two
+        iterations; t = Size(1)/P + Size(2)/P with P constant."""
+        table = LookupTable(dev)
+        n = dev.max_active_warps + 1
+        w, h = 64, 4
+        widths = np.full(n, w - 2, dtype=np.int64)
+        heights = np.full(n, h, dtype=np.int64)
+        ws = WorkloadSet(
+            workload_size=w * h,
+            starts=np.arange(n, dtype=np.int64) * h,
+            heights=heights,
+            widths=widths,
+            w_pad=np.full(n, w, dtype=np.int64),
+            h_pad=heights,
+            storage=np.full(n, STORAGE_CSR, dtype=np.int64),
+            nnz=widths * heights,
+        )
+        t_model = predict_workloads_seconds(ws, table, dev)
+        perf = table.performance(w, h, w - 2, h, STORAGE_CSR)
+        size_1 = dev.max_active_warps * (w * h)
+        size_2 = 1 * (w * h)
+        t_hand = size_1 / perf + size_2 / perf
+        assert t_model == pytest.approx(t_hand, rel=1e-9)
+
+    def test_single_workload(self, dev):
+        table = LookupTable(dev)
+        ws = WorkloadSet(
+            workload_size=128,
+            starts=np.array([0]),
+            heights=np.array([2]),
+            widths=np.array([60]),
+            w_pad=np.array([64]),
+            h_pad=np.array([2]),
+            storage=np.array([STORAGE_CSR]),
+            nnz=np.array([120]),
+        )
+        t = predict_workloads_seconds(ws, table, dev)
+        perf = table.performance(64, 2, 60, 2, STORAGE_CSR)
+        assert t == pytest.approx(128 / perf)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_error_hierarchy(self):
+        from repro.errors import (
+            ConvergenceError,
+            DeviceMemoryError,
+            FormatNotApplicableError,
+        )
+
+        for exc in (ValidationError, ConvergenceError,
+                    DeviceMemoryError, FormatNotApplicableError):
+            assert issubclass(exc, ReproError)
+
+    def test_core_reexports(self):
+        from repro import core
+
+        for name in ("autotune", "build_tile_composite", "select_kernel",
+                     "transform_cost", "LookupTable"):
+            assert hasattr(core, name)
+
+    def test_multigpu_reexports(self):
+        from repro import multigpu
+
+        for name in ("simulate_spmv", "simulate_chunked_single_gpu",
+                     "bitonic_partition", "NetworkSpec"):
+            assert hasattr(multigpu, name)
+
+    def test_dataset_registry_complete(self):
+        from repro.graphs import datasets
+
+        names = set(datasets.list_datasets())
+        table2 = {"webbase", "flickr", "livejournal", "wikipedia",
+                  "youtube", "dense", "circuit", "fem-harbor", "lp",
+                  "protein"}
+        table3 = {"it-2004", "sk-2005", "uk-union", "web-2001"}
+        assert table2 | table3 <= names

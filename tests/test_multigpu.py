@@ -1,0 +1,204 @@
+"""Multi-GPU partitioning and cluster simulation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DeviceMemoryError, ValidationError
+from repro.graphs.chung_lu import chung_lu_graph
+from repro.gpu.spec import DeviceSpec
+from repro.multigpu.bitonic import (
+    bitonic_partition,
+    contiguous_partition,
+    partition_balance,
+)
+from repro.multigpu.cluster import (
+    ClusterSpec,
+    distributed_pagerank,
+    simulate_spmv,
+)
+from repro.multigpu.network import NetworkSpec, allgather_seconds
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu_graph(2000, 20_000, seed=61)
+
+
+@pytest.fixture(scope="module")
+def dev():
+    return DeviceSpec.tesla_c1060().scaled(
+        texture_cache_bytes=4096, global_latency_cycles=25.0,
+        kernel_launch_seconds=7e-8,
+    )
+
+
+class TestBitonicPartition:
+    def test_row_counts_balanced(self, graph):
+        lengths = graph.row_lengths()
+        assignment = bitonic_partition(lengths, 7)
+        counts = np.bincount(assignment, minlength=7)
+        assert counts.max() - counts.min() <= 1
+
+    def test_nnz_balanced(self, graph):
+        lengths = graph.row_lengths()
+        assignment = bitonic_partition(lengths, 8)
+        balance = partition_balance(lengths, assignment, 8)
+        # "Approximately equal number of non-zeros" (3.2): the node
+        # holding the biggest hub can exceed the mean by at most one
+        # hub's worth.
+        hub = lengths.max()
+        fair = lengths.sum() / 8
+        assert balance.nnz_per_part.max() <= fair + hub
+
+    def test_beats_contiguous_on_sorted_input(self):
+        # Adversarial: rows sorted by length, contiguous blocks are
+        # catastrophically imbalanced, bitonic is not.
+        lengths = np.sort(
+            (np.random.default_rng(0).pareto(1.2, 4000) * 5 + 1).astype(int)
+        )[::-1]
+        bit = partition_balance(
+            lengths, bitonic_partition(lengths, 4), 4
+        )
+        cont = partition_balance(
+            lengths, contiguous_partition(lengths.size, 4), 4
+        )
+        assert bit.nnz_imbalance < cont.nnz_imbalance
+
+    def test_single_part(self, graph):
+        assignment = bitonic_partition(graph.row_lengths(), 1)
+        assert np.all(assignment == 0)
+
+    def test_rejects_zero_parts(self, graph):
+        with pytest.raises(ValidationError):
+            bitonic_partition(graph.row_lengths(), 0)
+
+    def test_serpentine_deal(self):
+        # 4 rows, 2 parts: longest+shortest to one, middle two to other.
+        lengths = np.array([10, 7, 4, 1])
+        assignment = bitonic_partition(lengths, 2)
+        nnz = partition_balance(lengths, assignment, 2).nnz_per_part
+        assert sorted(nnz.tolist()) == [11, 11]
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(1, 500),
+    parts=st.integers(1, 16),
+)
+@settings(max_examples=40, deadline=None)
+def test_bitonic_partition_properties(seed, n, parts):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(0, 100, n)
+    assignment = bitonic_partition(lengths, parts)
+    assert assignment.min() >= 0
+    assert assignment.max() < parts
+    counts = np.bincount(assignment, minlength=parts)
+    assert counts.max() - counts.min() <= 1
+
+
+class TestNetwork:
+    def test_single_node_free(self):
+        assert allgather_seconds(1e6, 1, NetworkSpec()) == 0.0
+
+    def test_grows_with_parts(self):
+        net = NetworkSpec()
+        times = [allgather_seconds(1e6, p, net) for p in (2, 4, 8)]
+        assert times == sorted(times)
+
+    def test_overlap_reduces_cost(self):
+        slow = NetworkSpec(overlap=0.0)
+        fast = NetworkSpec(overlap=0.9)
+        assert allgather_seconds(1e6, 4, fast) < allgather_seconds(
+            1e6, 4, slow
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            NetworkSpec(bandwidth=-1)
+        with pytest.raises(ValidationError):
+            NetworkSpec(overlap=1.0)
+        with pytest.raises(ValidationError):
+            allgather_seconds(-1, 2, NetworkSpec())
+
+
+class TestClusterSimulation:
+    def test_report_structure(self, graph, dev):
+        cluster = ClusterSpec(n_gpus=4, device=dev)
+        report = simulate_spmv(graph, cluster, kernel="hyb")
+        assert report.n_gpus == 4
+        assert len(report.node_reports) == 4
+        assert report.gflops > 0
+        assert report.iteration_seconds > 0
+
+    def test_compute_shrinks_with_gpus(self, graph, dev):
+        t = {}
+        for p in (1, 4):
+            cluster = ClusterSpec(n_gpus=p, device=dev)
+            t[p] = simulate_spmv(
+                graph, cluster, kernel="hyb"
+            ).compute_seconds
+        assert t[4] < t[1]
+
+    def test_efficiency_at_most_ideal(self, graph, dev):
+        base = simulate_spmv(
+            graph, ClusterSpec(n_gpus=1, device=dev), kernel="hyb"
+        )
+        for p in (2, 4):
+            r = simulate_spmv(
+                graph, ClusterSpec(n_gpus=p, device=dev), kernel="hyb"
+            )
+            assert r.parallel_efficiency(base) <= 1.05
+
+    def test_memory_limit_enforced(self, graph, dev):
+        cluster = ClusterSpec(
+            n_gpus=1, device=dev, gpu_memory_bytes=1024
+        )
+        with pytest.raises(DeviceMemoryError):
+            simulate_spmv(graph, cluster, kernel="hyb")
+
+    def test_memory_check_can_be_disabled(self, graph, dev):
+        cluster = ClusterSpec(
+            n_gpus=1, device=dev, gpu_memory_bytes=1024
+        )
+        report = simulate_spmv(
+            graph, cluster, kernel="hyb", check_memory=False
+        )
+        assert report.gflops > 0
+
+    def test_more_gpus_lift_memory_limit(self, graph, dev):
+        limit = 12 * graph.nnz // 2 + 8 * graph.n_rows
+        small = ClusterSpec(n_gpus=1, device=dev, gpu_memory_bytes=limit)
+        large = ClusterSpec(n_gpus=4, device=dev, gpu_memory_bytes=limit)
+        with pytest.raises(DeviceMemoryError):
+            simulate_spmv(graph, small, kernel="coo")
+        assert simulate_spmv(graph, large, kernel="coo").gflops > 0
+
+    def test_unknown_partition_rejected(self, graph, dev):
+        cluster = ClusterSpec(n_gpus=2, device=dev)
+        with pytest.raises(ValidationError):
+            simulate_spmv(graph, cluster, partition="magic")
+
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(ValidationError):
+            ClusterSpec(n_gpus=0)
+
+
+class TestDistributedPageRank:
+    def test_matches_single_node_pagerank(self, graph, dev):
+        from repro.mining.pagerank import pagerank
+
+        cluster = ClusterSpec(n_gpus=3, device=dev)
+        vector, report = distributed_pagerank(
+            graph, cluster, kernel="hyb", tol=1e-12
+        )
+        single = pagerank(graph, kernel="hyb", tol=1e-12)
+        assert np.allclose(vector, single.vector, atol=1e-9)
+        assert report.iterations == single.iterations
+
+    def test_total_time_scales_with_iterations(self, graph, dev):
+        cluster = ClusterSpec(n_gpus=2, device=dev)
+        _, report = distributed_pagerank(graph, cluster, kernel="hyb")
+        assert report.total_seconds == pytest.approx(
+            report.iteration_seconds * report.iterations
+        )
