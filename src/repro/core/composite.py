@@ -23,7 +23,7 @@ from repro.core.workload import (
     pack_workloads,
 )
 from repro.errors import ValidationError
-from repro.formats.base import SparseMatrix, check_vector
+from repro.formats.base import SparseMatrix
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
 from repro.gpu.spec import DeviceSpec
@@ -156,18 +156,10 @@ class TileCompositeMatrix(SparseMatrix):
         padded = sum(t.padded_entries for t in self.all_tiles)
         return padded / nnz if nnz else 0.0
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        x = check_vector(x, self.n_cols)
-        x_reordered = x[self.plan.col_order]
-        y = np.zeros(self.n_rows, dtype=np.float64)
-        for t, tile in enumerate(self.tiles):
-            start, stop = self.plan.tile_range(t)
-            segment = x_reordered[start:stop]
-            y[tile.row_ids] += tile.csr.spmv(segment)
-        if self.remainder is not None:
-            segment = x_reordered[self.plan.dense_cols :]
-            y[self.remainder.row_ids] += self.remainder.csr.spmv(segment)
-        return y
+    def _build_plan(self):
+        from repro.exec.plan import TileCompositePlan
+
+        return TileCompositePlan(self)
 
     def to_coo(self) -> COOMatrix:
         rows, cols, data = [], [], []

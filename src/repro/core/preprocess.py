@@ -21,7 +21,7 @@ from repro.errors import ValidationError
 from repro.formats.base import SparseMatrix
 from repro.gpu.spec import CPUSpec
 
-__all__ = ["PreprocessingCost", "transform_cost"]
+__all__ = ["PreprocessingCost", "plan_build_cost", "transform_cost"]
 
 #: Host instructions per element for a counting-sort pass (histogram +
 #: prefix sum + scatter).
@@ -30,6 +30,10 @@ SORT_OPS_PER_ELEMENT = 6.0
 #: Host instructions per non-zero for the relayout into padded
 #: composite storage (gather + two stores).
 RELAYOUT_OPS_PER_NNZ = 8.0
+
+#: Host instructions per non-zero to build an execution plan (one
+#: counting pass for the segment boundaries plus the gather-map copy).
+PLAN_OPS_PER_NNZ = 4.0
 
 
 @dataclass(frozen=True)
@@ -61,6 +65,26 @@ class PreprocessingCost:
         if per_iteration_saving <= 0:
             return 10**9
         return max(1, int(-(-self.total_seconds // per_iteration_saving)))
+
+
+def plan_build_cost(
+    matrix: SparseMatrix, *, cpu: CPUSpec | None = None
+) -> float:
+    """Modelled one-time host seconds to build an SpMV execution plan.
+
+    The paper's amortisation argument extends to the execution engine:
+    the cached plan (segment boundaries, gather maps — see
+    ``repro.exec.plan``) is one linear pass over the non-zeros plus a
+    per-row boundary scan, paid once per matrix and amortised across
+    every subsequent ``spmv``/``spmm`` call.  Kept separate from
+    :class:`PreprocessingCost` because plan construction happens for
+    *every* format, not only the tile-composite transform.
+    """
+    cpu = cpu or CPUSpec.opteron_2218()
+    if cpu.peak_flops <= 0:
+        raise ValidationError("CPU spec must have positive throughput")
+    ops = PLAN_OPS_PER_NNZ * matrix.nnz + SORT_OPS_PER_ELEMENT * matrix.n_rows
+    return ops / cpu.peak_flops
 
 
 def transform_cost(

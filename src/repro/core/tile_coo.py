@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.core.tiling import TilePlan, plan_tiles, slice_into_tiles
 from repro.errors import ValidationError
-from repro.formats.base import SparseMatrix, check_vector
+from repro.formats.base import SparseMatrix
 from repro.formats.coo import COOMatrix
 from repro.formats.hyb import HYBMatrix
 from repro.gpu.spec import DeviceSpec
@@ -53,16 +53,10 @@ class TileCOOMatrix(SparseMatrix):
             total += self.remainder.nbytes
         return total
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        x = check_vector(x, self.n_cols)
-        x_reordered = x[self.plan.col_order]
-        y = np.zeros(self.n_rows, dtype=np.float64)
-        for t, tile in enumerate(self.tiles):
-            start, stop = self.plan.tile_range(t)
-            y += tile.spmv(x_reordered[start:stop])
-        if self.remainder is not None:
-            y += self.remainder.spmv(x_reordered[self.plan.dense_cols :])
-        return y
+    def _build_plan(self):
+        from repro.exec.plan import TileCOOPlan
+
+        return TileCOOPlan(self)
 
     def to_coo(self) -> COOMatrix:
         rows, cols, data = [], [], []

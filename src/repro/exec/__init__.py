@@ -1,0 +1,74 @@
+"""Zero-allocation SpMV execution engine.
+
+The numerical path of every format and kernel runs through this layer:
+
+``repro.exec.plan``
+    Cached :class:`SpMVPlan` objects — precomputed reduction segments,
+    gather maps and reorder buffers, built once per matrix and reused on
+    every ``spmv``/``spmm`` call.
+``repro.exec.workspace``
+    :class:`WorkspacePool` — named scratch buffers so repeated
+    executions allocate no O(nnz) temporaries.
+``repro.exec.backends``
+    The backend registry: the native ``numpy`` backend plus an optional
+    auto-detected ``scipy`` backend (cross-check and fast path).
+
+Typical use goes through the matrix API rather than this package::
+
+    y = matrix.spmv(x)              # plan built lazily, then cached
+    matrix.spmv(x, out=y)           # zero-allocation steady state
+    Y = matrix.spmm(X)              # batched multi-vector product
+    plan = matrix.spmv_plan()       # the cached plan itself
+"""
+
+from repro.exec.backends import (
+    Backend,
+    NumpyBackend,
+    ScipyBackend,
+    available_backends,
+    build_plan,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
+from repro.exec.plan import (
+    PLAN_CACHE_STATS,
+    COOPlan,
+    CSCPlan,
+    CSRPlan,
+    DIAPlan,
+    ELLPlan,
+    HYBPlan,
+    PKTPlan,
+    PlanCacheStats,
+    SpMVPlan,
+    TileCompositePlan,
+    TileCOOPlan,
+)
+from repro.exec.workspace import WorkspacePool
+
+__all__ = [
+    "PLAN_CACHE_STATS",
+    "Backend",
+    "COOPlan",
+    "CSCPlan",
+    "CSRPlan",
+    "DIAPlan",
+    "ELLPlan",
+    "HYBPlan",
+    "NumpyBackend",
+    "PKTPlan",
+    "PlanCacheStats",
+    "ScipyBackend",
+    "SpMVPlan",
+    "TileCOOPlan",
+    "TileCompositePlan",
+    "WorkspacePool",
+    "available_backends",
+    "build_plan",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
+]

@@ -1,0 +1,231 @@
+"""Execution-backend registry.
+
+A *backend* turns a :class:`~repro.formats.base.SparseMatrix` into a
+:class:`~repro.exec.plan.SpMVPlan`.  The ``numpy`` backend asks the
+matrix for its native plan (every format implements ``_build_plan``);
+the ``scipy`` backend — auto-detected, never required — compiles the
+matrix to canonical CSR and drives SciPy's C matvec kernels directly
+into the caller's ``out`` buffer.
+
+When SciPy is importable it is the default backend (its row-serial
+accumulation matches the seed implementation's ``np.bincount`` order
+bit for bit, and the compiled loop is the fast path); otherwise
+``numpy`` is.  ``REPRO_SPMV_BACKEND`` (read at import time) or
+:func:`set_default_backend` overrides the choice, and asking for an
+unavailable backend falls back to ``numpy`` rather than failing, so
+code runs unchanged on containers without SciPy.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.exec.plan import SpMVPlan, check_rhs_matrix
+
+__all__ = [
+    "Backend",
+    "NumpyBackend",
+    "ScipyBackend",
+    "ScipyCSRPlan",
+    "available_backends",
+    "build_plan",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
+]
+
+_BACKENDS: dict[str, "Backend"] = {}
+_DEFAULT_NAME = "numpy"
+
+
+class Backend(abc.ABC):
+    """One way of compiling matrices into execution plans."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def is_available(self) -> bool:
+        """Whether the backend can run in this environment."""
+
+    @abc.abstractmethod
+    def build_plan(self, matrix) -> SpMVPlan | None:
+        """Compile ``matrix``, or return ``None`` when unsupported."""
+
+
+class NumpyBackend(Backend):
+    """The native backend: every format builds its own plan."""
+
+    name = "numpy"
+
+    def is_available(self) -> bool:
+        return True
+
+    def build_plan(self, matrix) -> SpMVPlan:
+        return matrix._build_plan()
+
+
+class ScipyCSRPlan(SpMVPlan):
+    """Plan driving SciPy's compiled CSR matvec kernels.
+
+    The matrix is canonicalised to CSR once; execution calls
+    ``scipy.sparse._sparsetools.csr_matvec`` (and ``csr_matvecs`` for
+    the batched path) accumulating straight into the caller's buffer —
+    zero heap allocation per call, and row-serial summation order, which
+    matches the seed implementation's ``np.bincount`` reduction exactly.
+    Older/stripped SciPy builds without the private module fall back to
+    the public ``csr_array @`` operator (one O(n_rows) temporary).
+    """
+
+    backend = "scipy"
+
+    def __init__(self, matrix) -> None:
+        super().__init__(matrix.shape)
+        from repro.formats.csr import CSRMatrix
+
+        csr = (
+            matrix
+            if isinstance(matrix, CSRMatrix)
+            else CSRMatrix.from_coo(matrix.to_coo())
+        )
+        self.indptr = csr.indptr
+        self.indices = csr.indices
+        self.data = csr.data
+        try:
+            from scipy.sparse import _sparsetools
+
+            self._tools = _sparsetools
+        except ImportError:  # pragma: no cover - present in all CI scipys
+            self._tools = None
+        self._operator = None
+
+    def _fallback_operator(self):
+        if self._operator is None:
+            import scipy.sparse as sp
+
+            self._operator = sp.csr_array(
+                (self.data, self.indices, self.indptr), shape=self.shape
+            )
+        return self._operator
+
+    def _execute(self, x: np.ndarray, out: np.ndarray) -> None:
+        if self._tools is None:  # pragma: no cover - fallback path
+            np.copyto(out, self._fallback_operator() @ x)
+            return
+        out.fill(0.0)
+        self._tools.csr_matvec(
+            self.n_rows, self.n_cols,
+            self.indptr, self.indices, self.data, x, out,
+        )
+
+    def _execute_many(self, X: np.ndarray, out: np.ndarray) -> None:
+        if self._tools is None:  # pragma: no cover - fallback path
+            np.copyto(out, self._fallback_operator() @ X)
+            return
+        out.fill(0.0)
+        self._tools.csr_matvecs(
+            self.n_rows, self.n_cols, X.shape[1],
+            self.indptr, self.indices, self.data, X.ravel(), out.ravel(),
+        )
+
+
+class ScipyBackend(Backend):
+    """Optional SciPy-sparse backend (auto-detected)."""
+
+    name = "scipy"
+
+    def is_available(self) -> bool:
+        try:
+            import scipy.sparse  # noqa: F401
+        except ImportError:  # pragma: no cover - scipy present in CI
+            return False
+        return True
+
+    def build_plan(self, matrix) -> SpMVPlan | None:
+        if not self.is_available():  # pragma: no cover
+            return None
+        return ScipyCSRPlan(matrix)
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Add a backend to the registry (name must be unique)."""
+    if backend.name in _BACKENDS:
+        raise ValidationError(
+            f"backend {backend.name!r} already registered"
+        )
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def available_backends() -> list[str]:
+    """Names of registered backends usable in this environment."""
+    return sorted(
+        name for name, b in _BACKENDS.items() if b.is_available()
+    )
+
+
+def default_backend_name() -> str:
+    """The backend used when none is named explicitly."""
+    return _DEFAULT_NAME
+
+
+def set_default_backend(name: str) -> str:
+    """Select the default backend; returns the previous default."""
+    global _DEFAULT_NAME
+    resolved = _resolve(name)
+    previous = _DEFAULT_NAME
+    _DEFAULT_NAME = resolved
+    return previous
+
+
+def _resolve(name: str | None) -> str:
+    """Map a requested backend name onto a usable registered one."""
+    if name is None:
+        name = _DEFAULT_NAME
+    key = name.lower()
+    if key not in _BACKENDS:
+        raise ValidationError(
+            f"unknown backend {name!r}; registered: {sorted(_BACKENDS)}"
+        )
+    if not _BACKENDS[key].is_available():
+        return "numpy"
+    return key
+
+
+def get_backend(name: str | None = None) -> Backend:
+    """Look up a backend, falling back to numpy when unavailable."""
+    return _BACKENDS[_resolve(name)]
+
+
+def build_plan(matrix, backend: str | None = None) -> SpMVPlan:
+    """Compile ``matrix`` with the named (or default) backend.
+
+    Backends may decline a matrix (return ``None``); the numpy backend
+    is the universal fallback.
+    """
+    plan = get_backend(backend).build_plan(matrix)
+    if plan is None:  # pragma: no cover - numpy never declines
+        plan = _BACKENDS["numpy"].build_plan(matrix)
+    return plan
+
+
+register_backend(NumpyBackend())
+register_backend(ScipyBackend())
+
+# Auto-detect: prefer the compiled SciPy path when present.
+if _BACKENDS["scipy"].is_available():
+    _DEFAULT_NAME = "scipy"
+
+_env_default = os.environ.get("REPRO_SPMV_BACKEND")
+if _env_default:
+    try:
+        set_default_backend(_env_default)
+    except ValidationError:  # pragma: no cover - bad env var is ignored
+        pass
+
+# check_rhs_matrix is re-exported for SparseMatrix.spmm's validation.
+_ = check_rhs_matrix

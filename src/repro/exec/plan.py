@@ -1,0 +1,502 @@
+"""Cached SpMV execution plans.
+
+A *plan* is the execute-side half of a sparse matrix: everything an
+``y = A @ x`` needs beyond the raw arrays, precomputed once and reused
+on every call.  For sorted-CSR/COO/CSC that is the segment boundaries of
+an ``np.add.reduceat`` reduction (replacing the per-call
+``np.repeat(np.arange(n_rows), diff(indptr))`` + ``np.bincount`` of the
+seed implementation); for ELL it is the padded gather layout; for
+HYB/PKT and the tile matrices it is the composition of child plans plus
+the reorder/scatter maps.
+
+Plans own a :class:`~repro.exec.workspace.WorkspacePool` so repeated
+executions perform **zero heap allocations of O(nnz) temporaries**: the
+product array, gather buffers and segment partials are all pool-resident
+after the first call.  ``execute(x, out=...)`` writes into a caller
+buffer; ``execute_many(X)`` runs a batched multi-vector SpMM (one matrix
+gather serving every column), column-bit-identical to ``execute``.
+
+This mirrors the row-grouped execution-structure precomputation of
+Heller & Oberhuber (arXiv:1203.5737) and the plan-reuse argument of
+Yang, Buluç & Owens (arXiv:1803.08601): the paper's own preprocessing
+("the cost of sorting can be amortized", §3.1) applied to the host-side
+numerical path.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.exec.workspace import WorkspacePool
+
+__all__ = [
+    "PLAN_CACHE_STATS",
+    "PlanCacheStats",
+    "SpMVPlan",
+    "CSRPlan",
+    "COOPlan",
+    "CSCPlan",
+    "ELLPlan",
+    "DIAPlan",
+    "HYBPlan",
+    "PKTPlan",
+    "TileCOOPlan",
+    "TileCompositePlan",
+    "check_rhs_matrix",
+]
+
+
+@dataclass
+class PlanCacheStats:
+    """Global counters of lazy plan construction vs. cache hits."""
+
+    builds: int = 0
+    hits: int = 0
+
+    def reset(self) -> None:
+        self.builds = 0
+        self.hits = 0
+
+
+#: Process-wide plan-cache statistics (observability / tests).
+PLAN_CACHE_STATS = PlanCacheStats()
+
+
+def check_rhs_matrix(X: np.ndarray, expected_rows: int) -> np.ndarray:
+    """Validate a multi-vector right-hand side for SpMM.
+
+    Returns ``X`` itself when it is already a C-contiguous float64 2-D
+    array (no copy); otherwise coerces.
+    """
+    if not (
+        isinstance(X, np.ndarray)
+        and X.dtype == np.float64
+        and X.ndim == 2
+        and X.flags.c_contiguous
+    ):
+        X = np.ascontiguousarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValidationError(f"SpMM input must be 2-D, got {X.ndim}-D")
+    if X.shape[0] != expected_rows:
+        raise ValidationError(
+            f"SpMM input has {X.shape[0]} rows, expected {expected_rows}"
+        )
+    return X
+
+
+class _SegmentReduction:
+    """Precomputed ``np.add.reduceat`` segments over row-sorted entries.
+
+    Each segment is one output row's contiguous run of products; when
+    every row is non-empty the reduction lands directly in ``out``,
+    otherwise it goes through a pool buffer and scatters to the
+    non-empty rows (empty rows stay at the zero fill).
+    """
+
+    __slots__ = ("seg_starts", "target_rows", "direct", "n_rows")
+
+    def __init__(
+        self, seg_starts: np.ndarray, target_rows: np.ndarray, n_rows: int
+    ) -> None:
+        self.seg_starts = seg_starts
+        self.target_rows = target_rows
+        self.n_rows = n_rows
+        #: Reduce straight into ``out``: one segment per row, in order.
+        self.direct = target_rows.size == n_rows
+
+    @classmethod
+    def from_indptr(cls, indptr: np.ndarray) -> "_SegmentReduction":
+        n_rows = indptr.size - 1
+        lengths = np.diff(indptr)
+        nonempty = np.nonzero(lengths)[0]
+        return cls(indptr[:-1][nonempty], nonempty, n_rows)
+
+    @classmethod
+    def from_sorted_rows(
+        cls, rows: np.ndarray, n_rows: int
+    ) -> "_SegmentReduction":
+        if rows.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return cls(empty, empty, n_rows)
+        starts = np.concatenate(
+            [[0], np.nonzero(np.diff(rows) != 0)[0] + 1]
+        ).astype(np.int64)
+        return cls(starts, rows[starts], n_rows)
+
+    def apply(
+        self, products: np.ndarray, out: np.ndarray, pool: WorkspacePool
+    ) -> None:
+        """``out[r] = sum of products in row r`` (zero for empty rows)."""
+        if self.seg_starts.size == 0:
+            out.fill(0.0)
+            return
+        if self.direct:
+            np.add.reduceat(products, self.seg_starts, out=out)
+            return
+        partial = pool.buffer("seg:partial", self.seg_starts.size)
+        np.add.reduceat(products, self.seg_starts, out=partial)
+        out.fill(0.0)
+        out[self.target_rows] = partial
+
+
+class SpMVPlan(abc.ABC):
+    """Base class of all execution plans.
+
+    ``execute``/``execute_many`` validate inputs and dispatch to the
+    format-specific ``_execute``/``_execute_many``; subclasses must
+    fully overwrite ``out`` (no read of uninitialised memory).
+    """
+
+    #: Name of the backend that built this plan.
+    backend: str = "numpy"
+
+    def __init__(self, shape: tuple[int, int]) -> None:
+        self.shape = shape
+        self.pool = WorkspacePool()
+        #: Number of completed executions (spmv and spmm both count).
+        self.executions = 0
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def execute(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``out = A @ x``; allocates the result only when ``out`` is None."""
+        from repro.formats.base import check_vector
+
+        x = check_vector(x, self.n_cols)
+        out = self._check_out(out, (self.n_rows,))
+        self._execute(x, out)
+        self.executions += 1
+        return out
+
+    def execute_many(
+        self, X: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Batched multi-vector product ``out = A @ X``.
+
+        ``X`` has shape ``(n_cols, k)``; the result has ``(n_rows, k)``.
+        Column ``j`` of the result is bit-identical to
+        ``execute(X[:, j])``.
+        """
+        X = check_rhs_matrix(X, self.n_cols)
+        out = self._check_out(out, (self.n_rows, X.shape[1]))
+        self._execute_many(X, out)
+        self.executions += 1
+        return out
+
+    def _check_out(
+        self, out: np.ndarray | None, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        if out is None:
+            return np.empty(shape, dtype=np.float64)
+        if not isinstance(out, np.ndarray):
+            raise ValidationError("out must be a numpy array")
+        if out.dtype != np.float64:
+            raise ValidationError(f"out must be float64, got {out.dtype}")
+        if out.shape != shape:
+            raise ValidationError(
+                f"out has shape {out.shape}, expected {shape}"
+            )
+        if not out.flags.c_contiguous:
+            raise ValidationError("out must be C-contiguous")
+        return out
+
+    # ------------------------------------------------------------------
+    # Format-specific implementations
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _execute(self, x: np.ndarray, out: np.ndarray) -> None:
+        """Write ``A @ x`` into ``out`` (both validated)."""
+
+    def _execute_many(self, X: np.ndarray, out: np.ndarray) -> None:
+        """Fallback SpMM: column-wise ``_execute`` through pool buffers.
+
+        Subclasses with a single-gather batched path override this.
+        """
+        xcol = self.pool.buffer("spmm:x", self.n_cols)
+        ycol = self.pool.buffer("spmm:y", self.n_rows)
+        for j in range(X.shape[1]):
+            np.copyto(xcol, X[:, j])
+            self._execute(xcol, ycol)
+            out[:, j] = ycol
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(shape={self.shape}, "
+            f"backend={self.backend!r}, executions={self.executions})"
+        )
+
+
+class _GatherReducePlan(SpMVPlan):
+    """Shared machinery of CSR/COO/CSC: gather x, multiply, segment-reduce.
+
+    Subclasses provide ``gather_cols`` (the column index of each stored
+    entry, in storage order), ``values`` (the matching data array), a
+    ``segments`` reduction, and optionally ``perm`` — a permutation
+    applied to the products before reduction (CSC's row-sort).
+    """
+
+    gather_cols: np.ndarray
+    values: np.ndarray
+    segments: _SegmentReduction
+    perm: np.ndarray | None = None
+
+    @property
+    def plan_nnz(self) -> int:
+        return self.values.size
+
+    def _reduce(self, products: np.ndarray, out: np.ndarray) -> None:
+        if self.perm is not None:
+            permuted = self.pool.buffer("perm:prod", products.size)
+            np.take(products, self.perm, out=permuted, mode="clip")
+            products = permuted
+        self.segments.apply(products, out, self.pool)
+
+    def _execute(self, x: np.ndarray, out: np.ndarray) -> None:
+        nnz = self.plan_nnz
+        if nnz == 0:
+            out.fill(0.0)
+            return
+        prod = self.pool.buffer("prod", nnz)
+        np.take(x, self.gather_cols, out=prod, mode="clip")
+        np.multiply(prod, self.values, out=prod)
+        self._reduce(prod, out)
+
+    def _execute_many(self, X: np.ndarray, out: np.ndarray) -> None:
+        nnz = self.plan_nnz
+        if nnz == 0:
+            out.fill(0.0)
+            return
+        k = X.shape[1]
+        # One transposed copy makes every right-hand side a contiguous
+        # row; each column then runs the exact gather/multiply/reduce
+        # sequence of ``_execute``, so the result columns are
+        # bit-identical to column-wise spmv calls while the validation
+        # and pool lookups are paid once per batch.
+        XT = self.pool.buffer("spmm:xt", (k, self.n_cols))
+        np.copyto(XT, X.T)
+        prod = self.pool.buffer("prod", nnz)
+        ycol = self.pool.buffer("spmm:y", self.n_rows)
+        for j in range(k):
+            np.take(XT[j], self.gather_cols, out=prod, mode="clip")
+            np.multiply(prod, self.values, out=prod)
+            self._reduce(prod, ycol)
+            out[:, j] = ycol
+
+
+class CSRPlan(_GatherReducePlan):
+    """Plan for :class:`~repro.formats.csr.CSRMatrix`.
+
+    Segment starts come straight from ``indptr`` — the reduceat offsets
+    of the sorted-CSR reduction.
+    """
+
+    def __init__(self, csr) -> None:
+        super().__init__(csr.shape)
+        self.gather_cols = csr.indices
+        self.values = csr.data
+        self.segments = _SegmentReduction.from_indptr(csr.indptr)
+
+
+class COOPlan(_GatherReducePlan):
+    """Plan for row-sorted :class:`~repro.formats.coo.COOMatrix`."""
+
+    def __init__(self, coo) -> None:
+        super().__init__(coo.shape)
+        self.gather_cols = coo.cols
+        self.values = coo.data
+        self.segments = _SegmentReduction.from_sorted_rows(
+            coo.rows, coo.n_rows
+        )
+
+
+class CSCPlan(_GatherReducePlan):
+    """Plan for :class:`~repro.formats.csc.CSCMatrix`.
+
+    The products are produced in column order; a cached stable row-sort
+    permutation turns the scatter-add of the seed implementation into
+    the same segmented reduction the row-major formats use.
+    """
+
+    def __init__(self, csc) -> None:
+        super().__init__(csc.shape)
+        self.values = csc.data
+        self.gather_cols = np.repeat(
+            np.arange(csc.n_cols, dtype=np.int64), np.diff(csc.indptr)
+        )
+        self.perm = np.argsort(csc.indices, kind="stable")
+        self.segments = _SegmentReduction.from_sorted_rows(
+            csc.indices[self.perm], csc.n_rows
+        )
+
+
+class ELLPlan(SpMVPlan):
+    """Plan for :class:`~repro.formats.ell.ELLMatrix`.
+
+    Caches nothing beyond views of the padded arrays — ELL's layout *is*
+    its plan — but reuses the ``(n_rows, width)`` gather buffer.
+    """
+
+    def __init__(self, ell) -> None:
+        super().__init__(ell.shape)
+        self.indices = ell.indices
+        self.values = ell.data
+        self.degenerate = (
+            ell.n_rows == 0 or ell.width == 0 or ell.n_cols == 0
+        )
+
+    def _execute(self, x: np.ndarray, out: np.ndarray) -> None:
+        if self.degenerate:
+            out.fill(0.0)
+            return
+        gathered = self.pool.buffer("gather", self.indices.shape)
+        np.take(x, self.indices, out=gathered, mode="clip")
+        np.multiply(gathered, self.values, out=gathered)
+        np.sum(gathered, axis=1, out=out)
+
+
+class DIAPlan(SpMVPlan):
+    """Plan for :class:`~repro.formats.dia.DIAMatrix`.
+
+    Precomputes each diagonal's in-bounds row span so execution is pure
+    slice arithmetic — no per-call boolean masks.
+    """
+
+    def __init__(self, dia) -> None:
+        super().__init__(dia.shape)
+        self.values = dia.data
+        self.spans: list[tuple[int, int, int, int]] = []
+        for d, offset in enumerate(dia.offsets):
+            off = int(offset)
+            lo = max(0, -off)
+            hi = min(dia.n_rows, dia.n_cols - off)
+            if hi > lo:
+                self.spans.append((d, off, lo, hi))
+
+    def _execute(self, x: np.ndarray, out: np.ndarray) -> None:
+        out.fill(0.0)
+        if not self.spans:
+            return
+        scratch = self.pool.buffer("diag", self.n_rows)
+        for d, off, lo, hi in self.spans:
+            seg = scratch[: hi - lo]
+            np.multiply(self.values[d, lo:hi], x[lo + off : hi + off], out=seg)
+            out[lo:hi] += seg
+
+
+class HYBPlan(SpMVPlan):
+    """Plan for :class:`~repro.formats.hyb.HYBMatrix` — the split plan.
+
+    Composes the child ELL and COO plans (each cached on its own
+    sub-matrix) and accumulates the tail into the head's output.
+    """
+
+    def __init__(self, hyb) -> None:
+        super().__init__(hyb.shape)
+        self.ell = hyb.ell
+        self.tail = hyb.coo
+
+    def _execute(self, x: np.ndarray, out: np.ndarray) -> None:
+        self.ell.spmv_plan()._execute(x, out)
+        tail_y = self.pool.buffer("tail:y", self.n_rows)
+        self.tail.spmv_plan()._execute(x, tail_y)
+        out += tail_y
+
+
+class PKTPlan(SpMVPlan):
+    """Plan for :class:`~repro.formats.pkt.PKTMatrix`.
+
+    Gathers each packet's ``x`` slice into a pooled buffer, runs the
+    packet's local COO plan, and scatter-adds into ``out``; the
+    remainder's plan seeds the output.
+    """
+
+    def __init__(self, pkt) -> None:
+        super().__init__(pkt.shape)
+        self.remainder = pkt.remainder
+        self.packets = pkt.packets
+
+    def _execute(self, x: np.ndarray, out: np.ndarray) -> None:
+        self.remainder.spmv_plan()._execute(x, out)
+        for i, packet in enumerate(self.packets):
+            k = packet.row_ids.size
+            xg = self.pool.buffer(f"pkt{i}:x", k)
+            yg = self.pool.buffer(f"pkt{i}:y", k)
+            np.take(x, packet.row_ids, out=xg, mode="clip")
+            packet.local.spmv_plan()._execute(xg, yg)
+            out[packet.row_ids] += yg
+
+
+class TileCOOPlan(SpMVPlan):
+    """Plan for :class:`~repro.core.tile_coo.TileCOOMatrix`.
+
+    Caches the column-reorder gather and reuses one accumulator for the
+    per-tile partial results (the kernel's combine pass).
+    """
+
+    def __init__(self, matrix) -> None:
+        super().__init__(matrix.shape)
+        self.matrix = matrix
+
+    def _execute(self, x: np.ndarray, out: np.ndarray) -> None:
+        tile_plan = self.matrix.plan
+        xr = self.pool.buffer("x:reordered", self.n_cols)
+        np.take(x, tile_plan.col_order, out=xr, mode="clip")
+        out.fill(0.0)
+        acc = self.pool.buffer("tile:acc", self.n_rows)
+        for t, tile in enumerate(self.matrix.tiles):
+            start, stop = tile_plan.tile_range(t)
+            tile.spmv_plan()._execute(xr[start:stop], acc)
+            out += acc
+        if self.matrix.remainder is not None:
+            self.matrix.remainder.spmv_plan()._execute(
+                xr[tile_plan.dense_cols :], acc
+            )
+            out += acc
+
+
+class TileCompositePlan(SpMVPlan):
+    """Plan for :class:`~repro.core.composite.TileCompositeMatrix`.
+
+    Each composite tile's local CSR plan computes into a pooled partial
+    buffer which scatters onto the tile's (length-sorted) rows —
+    exactly the kernel's partial-result write-back plus combine step.
+    """
+
+    def __init__(self, matrix) -> None:
+        super().__init__(matrix.shape)
+        self.matrix = matrix
+
+    def _execute(self, x: np.ndarray, out: np.ndarray) -> None:
+        tile_plan = self.matrix.plan
+        xr = self.pool.buffer("x:reordered", self.n_cols)
+        np.take(x, tile_plan.col_order, out=xr, mode="clip")
+        out.fill(0.0)
+        for t, tile in enumerate(self.matrix.tiles):
+            start, stop = tile_plan.tile_range(t)
+            partial = self.pool.buffer(f"tile{t}:y", tile.row_ids.size)
+            tile.csr.spmv_plan()._execute(xr[start:stop], partial)
+            out[tile.row_ids] += partial
+        remainder = self.matrix.remainder
+        if remainder is not None:
+            partial = self.pool.buffer(
+                "remainder:y", remainder.row_ids.size
+            )
+            remainder.csr.spmv_plan()._execute(
+                xr[tile_plan.dense_cols :], partial
+            )
+            out[remainder.row_ids] += partial

@@ -1,0 +1,69 @@
+"""Reusable scratch-buffer pool for the execution engine.
+
+The seed implementation rebuilt every O(nnz) temporary (the ``row_of``
+scatter map, the product array, the gather of ``x``) on each ``spmv``
+call.  A :class:`WorkspacePool` turns those into named, lazily-grown
+buffers owned by the plan that uses them: the first execution allocates,
+every later execution reuses — the plan-once/execute-many discipline the
+paper applies to its own preprocessing step.
+
+Pools are intentionally simple: a dict of named arrays, re-allocated
+only when the requested shape or dtype changes (e.g. an ``spmm`` batch
+width changes between calls).  They are *not* thread-safe; a plan — and
+therefore its pool — serves one execution stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WorkspacePool"]
+
+
+class WorkspacePool:
+    """Named scratch buffers, allocated once and reused across calls."""
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+        #: Number of fresh allocations performed (observability: a warm
+        #: pool serving a fixed-shape workload stops incrementing).
+        self.allocations = 0
+
+    def buffer(
+        self,
+        name: str,
+        shape: int | tuple[int, ...],
+        dtype: np.dtype | type = np.float64,
+    ) -> np.ndarray:
+        """Return the named buffer, (re)allocating only on shape change.
+
+        Contents are *not* cleared: callers overwrite the buffer fully
+        (``np.take(..., out=...)``-style) before reading it.
+        """
+        if isinstance(shape, int):
+            shape = (shape,)
+        dtype = np.dtype(dtype)
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[name] = buf
+            self.allocations += 1
+        return buf
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the pool."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def clear(self) -> None:
+        """Drop every buffer (memory-pressure escape hatch)."""
+        self._buffers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorkspacePool(buffers={len(self._buffers)}, "
+            f"nbytes={self.nbytes}, allocations={self.allocations})"
+        )

@@ -25,24 +25,42 @@ def check_shape(shape: tuple[int, int]) -> tuple[int, int]:
 
 
 def check_vector(x: np.ndarray, expected_len: int, name: str = "x") -> np.ndarray:
-    """Validate an input vector for SpMV and coerce it to float64."""
-    vec = np.asarray(x, dtype=np.float64)
-    if vec.ndim != 1:
+    """Validate an input vector for SpMV.
+
+    A contiguous float64 vector passes through untouched (the hot path:
+    power-method iterates are already in that layout, and copying them
+    per call costs an O(n) allocation every iteration); anything else is
+    coerced once.
+    """
+    if not (
+        isinstance(x, np.ndarray)
+        and x.dtype == np.float64
+        and x.ndim == 1
+        and x.flags.c_contiguous
+    ):
+        x = np.ascontiguousarray(x, dtype=np.float64)
+    if x.ndim != 1:
         raise ValidationError(f"{name} must be one-dimensional")
-    if vec.size != expected_len:
+    if x.size != expected_len:
         raise ValidationError(
-            f"{name} has length {vec.size}, expected {expected_len}"
+            f"{name} has length {x.size}, expected {expected_len}"
         )
-    return vec
+    return x
 
 
 class SparseMatrix(abc.ABC):
     """Abstract base of every storage format.
 
     Subclasses store their arrays in the layout a GPU kernel would use
-    and implement an exact ``spmv``.  Performance is *not* modelled here;
-    that is the job of ``repro.kernels``, which reads the structural
-    properties exposed by this interface.
+    and implement ``_build_plan``, producing the cached
+    :class:`~repro.exec.plan.SpMVPlan` behind the exact ``spmv``/``spmm``
+    entry points below.  Performance is *not* modelled here; that is the
+    job of ``repro.kernels``, which reads the structural properties
+    exposed by this interface.
+
+    Matrices are treated as immutable once constructed: plans and the
+    cached row/column length arrays hold references to the storage
+    arrays and are built at most once per matrix.
     """
 
     #: Matrix dimensions ``(n_rows, n_cols)``.
@@ -70,12 +88,58 @@ class SparseMatrix(abc.ABC):
         """Storage footprint in bytes, padding included."""
 
     @abc.abstractmethod
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        """Exact product ``y = A @ x``."""
-
-    @abc.abstractmethod
     def to_coo(self) -> "SparseMatrix":
         """Convert to :class:`~repro.formats.coo.COOMatrix`."""
+
+    # ------------------------------------------------------------------
+    # Execution engine
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _build_plan(self):
+        """Construct this format's native execution plan (numpy backend)."""
+
+    def spmv_plan(self, backend: str | None = None):
+        """The lazily-built, cached execution plan of this matrix.
+
+        One plan is kept per backend name; repeated calls return the
+        identical object (asserted by the engine tests), so the O(nnz)
+        scaffolding — reduction segments, gather maps, workspaces — is
+        paid once per matrix, not once per call.
+        """
+        from repro.exec.backends import _resolve
+        from repro.exec.plan import PLAN_CACHE_STATS
+
+        key = _resolve(backend)
+        plans = self.__dict__.setdefault("_spmv_plans", {})
+        plan = plans.get(key)
+        if plan is None:
+            from repro.exec.backends import build_plan
+
+            plan = build_plan(self, backend=key)
+            plans[key] = plan
+            PLAN_CACHE_STATS.builds += 1
+        else:
+            PLAN_CACHE_STATS.hits += 1
+        return plan
+
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Exact product ``y = A @ x``.
+
+        With ``out`` given, the result is written into the caller's
+        buffer and — once the plan exists — the call performs no heap
+        allocation of O(nnz) or O(n) temporaries.
+        """
+        return self.spmv_plan().execute(x, out=out)
+
+    def spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Batched multi-vector product ``Y = A @ X``.
+
+        ``X`` has shape ``(n_cols, k)``; column ``j`` of the result is
+        bit-identical to ``spmv(X[:, j])``, but the matrix structure is
+        gathered once for all ``k`` right-hand sides.
+        """
+        return self.spmv_plan().execute_many(X, out=out)
 
     # ------------------------------------------------------------------
     # Shared conveniences
@@ -102,12 +166,33 @@ class SparseMatrix(abc.ABC):
         return dense
 
     def row_lengths(self) -> np.ndarray:
-        """Number of stored entries per row."""
+        """Number of stored entries per row (cached, read-only).
+
+        Kernels' cost models and the autotuner query the length
+        distributions repeatedly; the result is computed once per matrix
+        and marked read-only so accidental mutation fails loudly.
+        """
+        cached = self.__dict__.get("_row_lengths")
+        if cached is None:
+            cached = np.asarray(self._compute_row_lengths())
+            cached.setflags(write=False)
+            self.__dict__["_row_lengths"] = cached
+        return cached
+
+    def col_lengths(self) -> np.ndarray:
+        """Number of stored entries per column (cached, read-only)."""
+        cached = self.__dict__.get("_col_lengths")
+        if cached is None:
+            cached = np.asarray(self._compute_col_lengths())
+            cached.setflags(write=False)
+            self.__dict__["_col_lengths"] = cached
+        return cached
+
+    def _compute_row_lengths(self) -> np.ndarray:
         coo = self.to_coo()
         return np.bincount(coo.rows, minlength=self.n_rows)
 
-    def col_lengths(self) -> np.ndarray:
-        """Number of stored entries per column."""
+    def _compute_col_lengths(self) -> np.ndarray:
         coo = self.to_coo()
         return np.bincount(coo.cols, minlength=self.n_cols)
 

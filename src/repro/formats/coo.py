@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.formats.base import SparseMatrix, check_shape, check_vector
+from repro.formats.base import SparseMatrix, check_shape
 
 __all__ = ["COOMatrix"]
 
@@ -121,15 +121,19 @@ class COOMatrix(SparseMatrix):
     def nbytes(self) -> int:
         return self._array_bytes(self.rows, self.cols, self.data)
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        x = check_vector(x, self.n_cols)
-        if self.nnz == 0:
-            return np.zeros(self.n_rows, dtype=np.float64)
-        products = self.data * x[self.cols]
-        return np.bincount(self.rows, weights=products, minlength=self.n_rows)
+    def _build_plan(self):
+        from repro.exec.plan import COOPlan
+
+        return COOPlan(self)
 
     def to_coo(self) -> "COOMatrix":
         return self
+
+    def _compute_row_lengths(self) -> np.ndarray:
+        return np.bincount(self.rows, minlength=self.n_rows)
+
+    def _compute_col_lengths(self) -> np.ndarray:
+        return np.bincount(self.cols, minlength=self.n_cols)
 
     # ------------------------------------------------------------------
     # Utilities

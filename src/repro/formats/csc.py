@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.formats.base import SparseMatrix, check_shape, check_vector
+from repro.formats.base import SparseMatrix, check_shape
 from repro.formats.coo import COOMatrix
 
 __all__ = ["CSCMatrix"]
@@ -72,13 +72,10 @@ class CSCMatrix(SparseMatrix):
     def nbytes(self) -> int:
         return self._array_bytes(self.indptr, self.indices, self.data)
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        x = check_vector(x, self.n_cols)
-        if self.nnz == 0:
-            return np.zeros(self.n_rows, dtype=np.float64)
-        col_of = np.repeat(np.arange(self.n_cols), np.diff(self.indptr))
-        products = self.data * x[col_of]
-        return np.bincount(self.indices, weights=products, minlength=self.n_rows)
+    def _build_plan(self):
+        from repro.exec.plan import CSCPlan
+
+        return CSCPlan(self)
 
     def to_coo(self) -> COOMatrix:
         col_of = np.repeat(np.arange(self.n_cols), np.diff(self.indptr))
@@ -86,7 +83,7 @@ class CSCMatrix(SparseMatrix):
             self.indices, col_of, self.data, self.shape, sum_duplicates=False
         )
 
-    def col_lengths(self) -> np.ndarray:
+    def _compute_col_lengths(self) -> np.ndarray:
         return np.diff(self.indptr)
 
     def select_cols(self, col_ids: np.ndarray) -> "CSCMatrix":

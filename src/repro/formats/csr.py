@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.formats.base import SparseMatrix, check_shape, check_vector
+from repro.formats.base import SparseMatrix, check_shape
 from repro.formats.coo import COOMatrix
 
 __all__ = ["CSRMatrix"]
@@ -84,15 +84,10 @@ class CSRMatrix(SparseMatrix):
     def nbytes(self) -> int:
         return self._array_bytes(self.indptr, self.indices, self.data)
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        x = check_vector(x, self.n_cols)
-        if self.nnz == 0:
-            return np.zeros(self.n_rows, dtype=np.float64)
-        products = self.data * x[self.indices]
-        row_of = np.repeat(
-            np.arange(self.n_rows), np.diff(self.indptr)
-        )
-        return np.bincount(row_of, weights=products, minlength=self.n_rows)
+    def _build_plan(self):
+        from repro.exec.plan import CSRPlan
+
+        return CSRPlan(self)
 
     def to_coo(self) -> COOMatrix:
         rows = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
@@ -102,7 +97,7 @@ class CSRMatrix(SparseMatrix):
     # Structure queries used by kernels and the tiling transform
     # ------------------------------------------------------------------
 
-    def row_lengths(self) -> np.ndarray:
+    def _compute_row_lengths(self) -> np.ndarray:
         return np.diff(self.indptr)
 
     def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import FormatNotApplicableError, ValidationError
-from repro.formats.base import SparseMatrix, check_shape, check_vector
+from repro.formats.base import SparseMatrix, check_shape
 from repro.formats.coo import COOMatrix
 
 __all__ = ["DIAMatrix"]
@@ -85,15 +85,10 @@ class DIAMatrix(SparseMatrix):
     def nbytes(self) -> int:
         return self._array_bytes(self.data) + self.offsets.size * 4
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        x = check_vector(x, self.n_cols)
-        y = np.zeros(self.n_rows, dtype=np.float64)
-        rows = np.arange(self.n_rows)
-        for d, offset in enumerate(self.offsets):
-            cols = rows + offset
-            mask = (cols >= 0) & (cols < self.n_cols)
-            y[mask] += self.data[d, mask] * x[cols[mask]]
-        return y
+    def _build_plan(self):
+        from repro.exec.plan import DIAPlan
+
+        return DIAPlan(self)
 
     def to_coo(self) -> COOMatrix:
         diag_ids, rows = np.nonzero(self.data)

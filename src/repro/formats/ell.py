@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import FormatNotApplicableError, ValidationError
-from repro.formats.base import SparseMatrix, check_shape, check_vector
+from repro.formats.base import SparseMatrix, check_shape
 from repro.formats.coo import COOMatrix
 
 __all__ = ["ELLMatrix"]
@@ -146,12 +146,10 @@ class ELLMatrix(SparseMatrix):
         # modelling artefact (the GPU encodes it in the index array).
         return self._array_bytes(self.indices, self.data)
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        x = check_vector(x, self.n_cols)
-        if self.n_rows == 0 or self.width == 0 or self.n_cols == 0:
-            return np.zeros(self.n_rows, dtype=np.float64)
-        gathered = x[self.indices] * self.data
-        return gathered.sum(axis=1)
+    def _build_plan(self):
+        from repro.exec.plan import ELLPlan
+
+        return ELLPlan(self)
 
     def to_coo(self) -> COOMatrix:
         rows, slots = np.nonzero(self.valid)
@@ -163,5 +161,5 @@ class ELLMatrix(SparseMatrix):
             sum_duplicates=False,
         )
 
-    def row_lengths(self) -> np.ndarray:
+    def _compute_row_lengths(self) -> np.ndarray:
         return self.valid.sum(axis=1)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.formats.base import SparseMatrix, check_vector
+from repro.formats.base import SparseMatrix
 from repro.formats.coo import COOMatrix
 from repro.formats.ell import ELLMatrix
 
@@ -91,9 +91,10 @@ class HYBMatrix(SparseMatrix):
     def nbytes(self) -> int:
         return self.ell.nbytes + self.coo.nbytes
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        x = check_vector(x, self.n_cols)
-        return self.ell.spmv(x) + self.coo.spmv(x)
+    def _build_plan(self):
+        from repro.exec.plan import HYBPlan
+
+        return HYBPlan(self)
 
     def to_coo(self) -> COOMatrix:
         head = self.ell.to_coo()

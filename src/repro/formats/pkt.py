@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import FormatNotApplicableError, ValidationError
-from repro.formats.base import SparseMatrix, check_shape, check_vector
+from repro.formats.base import SparseMatrix, check_shape
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
 
@@ -216,12 +216,10 @@ class PKTMatrix(SparseMatrix):
             total += packet.local.nbytes + packet.row_ids.size * 4
         return total
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        x = check_vector(x, self.n_cols)
-        y = self.remainder.spmv(x)
-        for packet in self.packets:
-            y[packet.row_ids] += packet.local.spmv(x[packet.row_ids])
-        return y
+    def _build_plan(self):
+        from repro.exec.plan import PKTPlan
+
+        return PKTPlan(self)
 
     def to_coo(self) -> COOMatrix:
         rows = [self.remainder.rows]

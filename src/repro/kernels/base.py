@@ -3,7 +3,10 @@
 A *kernel* couples a storage format with an execution strategy.  Every
 kernel exposes
 
-* ``spmv(x)`` — the exact product (NumPy reference semantics), and
+* ``spmv(x, out=...)`` — the exact product (through the storage
+  format's cached execution plan; ``out`` enables the zero-allocation
+  steady state),
+* ``spmm(X, out=...)`` — the batched multi-vector product, and
 * ``cost()`` — a :class:`~repro.gpu.costs.CostReport` of one SpMV on the
   simulated device, derived from the actual matrix structure.
 
@@ -73,9 +76,11 @@ def create(
 class SpMVKernel(abc.ABC):
     """Base class of all SpMV kernels.
 
-    Subclasses build their storage format in ``__init__`` and implement
-    :meth:`spmv` and :meth:`_compute_cost`.  Cost reports are memoised —
-    the matrix is immutable once wrapped.
+    Subclasses build their storage format in ``__init__``, point
+    ``self.storage`` at it, and implement :meth:`_compute_cost`; the
+    numerical path (``spmv``/``spmm``) then runs through the storage
+    format's cached execution plan.  Cost reports are memoised — the
+    matrix is immutable once wrapped.
     """
 
     #: Registry name, set by the ``register`` decorator.
@@ -93,6 +98,9 @@ class SpMVKernel(abc.ABC):
             )
         self.device = device or DeviceSpec.tesla_c1060()
         self.coo = matrix if isinstance(matrix, COOMatrix) else matrix.to_coo()
+        #: The format the kernel executes on; subclasses repoint this at
+        #: their native storage after building it.
+        self.storage: SparseMatrix = self.coo
         self._cost: CostReport | None = None
 
     # ------------------------------------------------------------------
@@ -111,9 +119,17 @@ class SpMVKernel(abc.ABC):
     def flops(self) -> int:
         return 2 * self.nnz
 
-    @abc.abstractmethod
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        """Exact product ``y = A @ x``."""
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Exact product ``y = A @ x`` through the cached plan."""
+        return self.storage.spmv(x, out=out)
+
+    def spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Batched multi-vector product ``Y = A @ X``."""
+        return self.storage.spmm(X, out=out)
+
+    def spmv_plan(self, backend: str | None = None):
+        """The storage format's cached execution plan."""
+        return self.storage.spmv_plan(backend)
 
     def cost(self) -> CostReport:
         """Simulated cost of one SpMV (memoised)."""

@@ -34,9 +34,7 @@ class BSKBDWKernel(SpMVKernel):
     ) -> None:
         super().__init__(matrix, device=device)
         self.csr = CSRMatrix.from_coo(self.coo)
-
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        return self.csr.spmv(x)
+        self.storage = self.csr
 
     def _compute_cost(self) -> CostReport:
         device = self.device

@@ -79,9 +79,6 @@ class COOKernel(SpMVKernel):
     ) -> None:
         super().__init__(matrix, device=device)
 
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        return self.coo.spmv(x)
-
     def _compute_cost(self) -> CostReport:
         device = self.device
         nnz = self.nnz

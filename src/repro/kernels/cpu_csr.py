@@ -35,9 +35,7 @@ class CPUCSRKernel(SpMVKernel):
         super().__init__(matrix, device=device)
         self.cpu = cpu or CPUSpec.opteron_2218()
         self.csr = CSRMatrix.from_coo(self.coo)
-
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        return self.csr.spmv(x)
+        self.storage = self.csr
 
     def _compute_cost(self) -> CostReport:
         cpu = self.cpu

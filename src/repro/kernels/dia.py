@@ -31,9 +31,7 @@ class DIAKernel(SpMVKernel):
     ) -> None:
         super().__init__(matrix, device=device)
         self.dia = DIAMatrix.from_coo(self.coo)
-
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        return self.dia.spmv(x)
+        self.storage = self.dia
 
     def _compute_cost(self) -> CostReport:
         device = self.device

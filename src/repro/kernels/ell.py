@@ -79,9 +79,7 @@ class ELLKernel(SpMVKernel):
     ) -> None:
         super().__init__(matrix, device=device)
         self.ell = ELLMatrix.from_coo(self.coo)
-
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        return self.ell.spmv(x)
+        self.storage = self.ell
 
     def _compute_cost(self) -> CostReport:
         x_cost = untiled_x_cost(self.coo.col_lengths(), self.device)

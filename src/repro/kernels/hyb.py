@@ -34,9 +34,7 @@ class HYBKernel(SpMVKernel):
     ) -> None:
         super().__init__(matrix, device=device)
         self.hyb = HYBMatrix.from_coo(self.coo, ell_width=ell_width)
-
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        return self.hyb.spmv(x)
+        self.storage = self.hyb
 
     def _compute_cost(self) -> CostReport:
         device = self.device

@@ -43,9 +43,7 @@ class PKTKernel(SpMVKernel):
     ) -> None:
         super().__init__(matrix, device=device)
         self.pkt = PKTMatrix.from_coo(self.coo, n_packets=n_packets, seed=seed)
-
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        return self.pkt.spmv(x)
+        self.storage = self.pkt
 
     def _compute_cost(self) -> CostReport:
         device = self.device

@@ -154,13 +154,11 @@ class TileCompositeKernel(SpMVKernel):
             avoid_camping=avoid_camping,
             tile_width=tile_width,
         )
+        self.storage = self.matrix
 
     @property
     def n_tiles(self) -> int:
         return self.matrix.plan.n_tiles
-
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        return self.matrix.spmv(x)
 
     def _compute_cost(self) -> CostReport:
         device = self.device

@@ -39,13 +39,11 @@ class TileCOOKernel(SpMVKernel):
         self.matrix: TileCOOMatrix = build_tile_coo(
             self.coo, self.device, n_tiles=n_tiles, tile_width=tile_width
         )
+        self.storage = self.matrix
 
     @property
     def n_tiles(self) -> int:
         return self.matrix.plan.n_tiles
-
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        return self.matrix.spmv(x)
 
     def _compute_cost(self) -> CostReport:
         device = self.device

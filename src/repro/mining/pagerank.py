@@ -77,12 +77,20 @@ def pagerank(
     n = operator.n_rows
     p0 = np.full(n, 1.0 / n)
     p = p0.copy()
+    # Double-buffered power method: after the plan is built on the first
+    # call, each iteration is one SpMV into a reused buffer plus
+    # in-place vector ops — no per-iteration heap allocation.
+    new_p = np.empty(n)
+    scratch = np.empty(n)
+    base = (1.0 - damping) * p0
     iterations = 0
     converged = False
     for iterations in range(1, max_iter + 1):
-        new_p = damping * spmv.spmv(p) + (1.0 - damping) * p0
-        delta = l1_delta(new_p, p)
-        p = new_p
+        spmv.spmv(p, out=new_p)
+        np.multiply(new_p, damping, out=new_p)
+        new_p += base
+        delta = l1_delta(new_p, p, scratch=scratch)
+        p, new_p = new_p, p
         if delta < tol:
             converged = True
             break

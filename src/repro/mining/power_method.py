@@ -12,10 +12,21 @@ from repro.gpu.costs import CostReport
 __all__ = ["MiningResult", "l1_delta"]
 
 
-def l1_delta(new: np.ndarray, old: np.ndarray) -> float:
+def l1_delta(
+    new: np.ndarray, old: np.ndarray, scratch: np.ndarray | None = None
+) -> float:
     """L1 distance between successive iterates (the convergence check
-    the GPU implementations realise with a parallel reduction)."""
-    return float(np.abs(new - old).sum())
+    the GPU implementations realise with a parallel reduction).
+
+    ``scratch`` — a buffer of the same shape — makes the check
+    allocation-free; the value is bit-identical either way (same
+    subtract/abs/pairwise-sum sequence).
+    """
+    if scratch is None:
+        return float(np.abs(new - old).sum())
+    np.subtract(new, old, out=scratch)
+    np.abs(scratch, out=scratch)
+    return float(scratch.sum())
 
 
 @dataclass

@@ -1,0 +1,335 @@
+"""Tests of the zero-allocation execution engine.
+
+Covers the engine contracts every format must honour: cached plan
+identity, bit-identical ``out=`` execution, batched SpMM equal to
+column-wise SpMV (property-based, over every backend), the steady-state
+zero-allocation guarantee of the workspace pool, the backend registry,
+and the batched mining paths (HITS multi-vector, batched RWR) matching
+their sequential counterparts exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.preprocess import plan_build_cost
+from repro.errors import FormatNotApplicableError, ValidationError
+from repro.exec import (
+    PLAN_CACHE_STATS,
+    WorkspacePool,
+    available_backends,
+    build_plan,
+    default_backend_name,
+    get_backend,
+    set_default_backend,
+)
+from repro.formats.base import check_vector
+from repro.formats.convert import FORMAT_BUILDERS, to_format
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.mining.hits import hits
+from repro.mining.rwr import random_walk_with_restart
+
+ALL_FORMATS = sorted(FORMAT_BUILDERS)
+BACKENDS = available_backends()
+
+
+def random_coo(
+    n_rows: int = 40,
+    n_cols: int = 40,
+    nnz: int = 180,
+    seed: int = 0,
+) -> COOMatrix:
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n_rows, size=nnz)
+    cols = rng.integers(0, n_cols, size=nnz)
+    data = rng.standard_normal(nnz)
+    return COOMatrix.from_unsorted(rows, cols, data, (n_rows, n_cols))
+
+
+def build(fmt: str, matrix: COOMatrix):
+    try:
+        return to_format(matrix, fmt)
+    except FormatNotApplicableError:
+        pytest.skip(f"{fmt} cannot represent this matrix")
+
+
+@st.composite
+def sparse_matrices(draw, max_dim: int = 20):
+    n_rows = draw(st.integers(1, max_dim))
+    n_cols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, n_rows * n_cols))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return COOMatrix.from_unsorted(
+        rng.integers(0, n_rows, size=nnz),
+        rng.integers(0, n_cols, size=nnz),
+        rng.standard_normal(nnz),
+        (n_rows, n_cols),
+    )
+
+
+# ----------------------------------------------------------------------
+# Plan caching
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+def test_plan_is_built_once_and_cached(fmt):
+    matrix = build(fmt, random_coo(seed=1))
+    plan = matrix.spmv_plan()
+    assert matrix.spmv_plan() is plan
+    assert matrix.spmv_plan(default_backend_name()) is plan
+
+
+def test_plan_cache_stats_count_builds_and_hits():
+    matrix = CSRMatrix.from_coo(random_coo(seed=2))
+    PLAN_CACHE_STATS.reset()
+    matrix.spmv_plan()  # default backend: one build
+    x = np.ones(matrix.n_cols)
+    matrix.spmv(x)      # cache hit
+    matrix.spmv(x)      # cache hit
+    assert PLAN_CACHE_STATS.builds == 1
+    assert PLAN_CACHE_STATS.hits == 2
+
+
+def test_per_backend_plans_are_distinct_objects():
+    if len(BACKENDS) < 2:
+        pytest.skip("only one backend available")
+    matrix = CSRMatrix.from_coo(random_coo(seed=3))
+    assert matrix.spmv_plan("numpy") is not matrix.spmv_plan("scipy")
+    assert matrix.spmv_plan("numpy") is matrix.spmv_plan("numpy")
+
+
+# ----------------------------------------------------------------------
+# out= execution: same buffer back, bit-identical values
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_spmv_out_is_bit_identical_to_allocating_path(fmt, backend):
+    matrix = build(fmt, random_coo(seed=4))
+    plan = matrix.spmv_plan(backend)
+    rng = np.random.default_rng(9)
+    x = rng.standard_normal(matrix.n_cols)
+    expected = plan.execute(x)
+    buf = np.full(matrix.n_rows, np.nan)
+    returned = plan.execute(x, out=buf)
+    assert returned is buf
+    assert np.array_equal(buf, expected)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_spmm_out_is_bit_identical_to_allocating_path(backend):
+    matrix = CSRMatrix.from_coo(random_coo(seed=5))
+    plan = matrix.spmv_plan(backend)
+    rng = np.random.default_rng(10)
+    X = rng.standard_normal((matrix.n_cols, 4))
+    expected = plan.execute_many(X)
+    buf = np.full((matrix.n_rows, 4), np.nan)
+    returned = plan.execute_many(X, out=buf)
+    assert returned is buf
+    assert np.array_equal(buf, expected)
+
+
+def test_spmv_out_validation():
+    matrix = CSRMatrix.from_coo(random_coo(seed=6))
+    x = np.ones(matrix.n_cols)
+    with pytest.raises(ValidationError):
+        matrix.spmv(x, out=np.empty(matrix.n_rows + 1))
+    with pytest.raises(ValidationError):
+        matrix.spmm(np.ones((matrix.n_cols + 1, 2)))
+
+
+# ----------------------------------------------------------------------
+# SpMM == column-wise SpMV (property-based, every format x backend)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_spmm_equals_columnwise_spmv(fmt, backend, data):
+    coo = data.draw(sparse_matrices())
+    try:
+        matrix = to_format(coo, fmt)
+    except FormatNotApplicableError:
+        return
+    k = data.draw(st.integers(1, 5))
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    X = np.random.default_rng(seed).standard_normal((matrix.n_cols, k))
+    plan = matrix.spmv_plan(backend)
+    Y = plan.execute_many(X)
+    assert Y.shape == (matrix.n_rows, k)
+    for j in range(k):
+        column = plan.execute(np.ascontiguousarray(X[:, j]))
+        assert np.array_equal(Y[:, j], column)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_spmv_matches_dense_every_backend(backend, data):
+    coo = data.draw(sparse_matrices())
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    x = np.random.default_rng(seed).standard_normal(coo.n_cols)
+    plan = build_plan(coo, backend=backend)
+    np.testing.assert_allclose(
+        plan.execute(x), coo.to_dense() @ x, atol=1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# Workspace pool: zero allocation in steady state
+# ----------------------------------------------------------------------
+
+
+def test_workspace_pool_reuses_buffers():
+    pool = WorkspacePool()
+    a = pool.buffer("a", 16)
+    assert pool.buffer("a", 16) is a
+    assert pool.allocations == 1
+    b = pool.buffer("a", 32)  # shape change reallocates
+    assert b is not a
+    assert pool.allocations == 2
+    assert pool.nbytes == 32 * 8
+    pool.clear()
+    assert len(pool) == 0
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+def test_steady_state_performs_no_pool_allocations(fmt):
+    matrix = build(fmt, random_coo(seed=7))
+    plan = matrix.spmv_plan("numpy")
+    x = np.ones(matrix.n_cols)
+    y = np.empty(matrix.n_rows)
+    X = np.ones((matrix.n_cols, 3))
+    Y = np.empty((matrix.n_rows, 3))
+    plan.execute(x, out=y)       # warm-up allocates the workspaces
+    plan.execute_many(X, out=Y)
+    warm = plan.pool.allocations
+    for _ in range(5):
+        plan.execute(x, out=y)
+        plan.execute_many(X, out=Y)
+    assert plan.pool.allocations == warm
+
+
+# ----------------------------------------------------------------------
+# Backend registry
+# ----------------------------------------------------------------------
+
+
+def test_registry_lists_numpy_and_defaults_sanely():
+    names = available_backends()
+    assert "numpy" in names
+    assert default_backend_name() in names
+    assert get_backend("numpy").name == "numpy"
+    assert get_backend().name == default_backend_name()
+
+
+def test_unknown_backend_is_rejected():
+    matrix = CSRMatrix.from_coo(random_coo(seed=8))
+    with pytest.raises(ValidationError):
+        matrix.spmv_plan("cuda")
+    with pytest.raises(ValidationError):
+        set_default_backend("cuda")
+
+
+def test_set_default_backend_round_trips():
+    previous = set_default_backend("numpy")
+    try:
+        assert default_backend_name() == "numpy"
+    finally:
+        assert set_default_backend(previous) == "numpy"
+    assert default_backend_name() == previous
+
+
+@pytest.mark.skipif("scipy" not in BACKENDS, reason="scipy not installed")
+def test_scipy_backend_matches_numpy_backend():
+    matrix = CSRMatrix.from_coo(random_coo(seed=12))
+    x = np.random.default_rng(13).standard_normal(matrix.n_cols)
+    np.testing.assert_allclose(
+        matrix.spmv_plan("scipy").execute(x),
+        matrix.spmv_plan("numpy").execute(x),
+        rtol=1e-12,
+        atol=1e-14,
+    )
+
+
+# ----------------------------------------------------------------------
+# check_vector fast path and cached length arrays
+# ----------------------------------------------------------------------
+
+
+def test_check_vector_no_copy_fast_path():
+    x = np.arange(8, dtype=np.float64)
+    assert check_vector(x, 8) is x
+    coerced = check_vector(x[::2], 4)  # non-contiguous: copied once
+    assert coerced is not x
+    assert coerced.flags.c_contiguous
+    assert check_vector([1.0, 2.0], 2).dtype == np.float64
+    with pytest.raises(ValidationError):
+        check_vector(x, 9)
+
+
+def test_row_and_col_lengths_are_cached_and_read_only():
+    matrix = CSRMatrix.from_coo(random_coo(seed=14))
+    rl = matrix.row_lengths()
+    cl = matrix.col_lengths()
+    assert matrix.row_lengths() is rl
+    assert matrix.col_lengths() is cl
+    assert rl.sum() == matrix.nnz == cl.sum()
+    with pytest.raises(ValueError):
+        rl[0] = 99
+
+
+# ----------------------------------------------------------------------
+# Batched mining paths match the sequential ones bit for bit
+# ----------------------------------------------------------------------
+
+
+def mining_graph(seed: int = 21) -> COOMatrix:
+    rng = np.random.default_rng(seed)
+    n, m = 60, 240
+    return COOMatrix.from_edges(
+        rng.integers(0, n, size=m), rng.integers(0, n, size=m), (n, n)
+    )
+
+
+def test_hits_multi_vector_matches_single_vector():
+    graph = mining_graph()
+    batched = hits(graph, kernel="cpu-csr", multi_vector=True)
+    single = hits(graph, kernel="cpu-csr", multi_vector=False)
+    assert batched.iterations == single.iterations
+    assert batched.converged == single.converged
+    assert np.array_equal(batched.vector, single.vector)
+
+
+def test_rwr_batched_matches_sequential():
+    graph = mining_graph(seed=22)
+    queries = np.array([3, 17, 41, 8])
+    batched = random_walk_with_restart(
+        graph, kernel="cpu-csr", queries=queries, batched=True
+    )
+    sequential = random_walk_with_restart(
+        graph, kernel="cpu-csr", queries=queries, batched=False
+    )
+    assert (
+        batched.extra["per_query_iterations"]
+        == sequential.extra["per_query_iterations"]
+    )
+    assert batched.converged == sequential.converged
+    assert np.array_equal(batched.vector, sequential.vector)
+
+
+# ----------------------------------------------------------------------
+# Plan-build cost model
+# ----------------------------------------------------------------------
+
+
+def test_plan_build_cost_scales_with_nnz():
+    small = CSRMatrix.from_coo(random_coo(nnz=50, seed=30))
+    large = CSRMatrix.from_coo(random_coo(nnz=500, seed=31))
+    assert 0 < plan_build_cost(small) < plan_build_cost(large)
