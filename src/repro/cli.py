@@ -36,6 +36,18 @@ _DEFAULT_KERNELS = [
 ]
 
 
+def _shard_count(value: str):
+    """``--shards`` parser: a positive int or the literal ``auto``."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument schema."""
     parser = argparse.ArgumentParser(
@@ -83,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
     pagerank.add_argument("--tol", type=float, default=1e-8)
     pagerank.add_argument(
         "--top", type=int, default=5, help="print the top-k nodes"
+    )
+    pagerank.add_argument(
+        "--shards", type=_shard_count, default=None, metavar="N|auto",
+        help="run the power loop on a sharded parallel executor: a "
+        "shard count, or 'auto' for the nnz-and-cores policy "
+        "(default: single-shard)",
     )
 
     autotune = sub.add_parser(
@@ -163,10 +181,13 @@ def _cmd_pagerank(args) -> int:
     ds, device = _load(args)
     result = pagerank(
         ds.matrix, kernel=args.kernel, device=device,
-        damping=args.damping, tol=args.tol,
+        damping=args.damping, tol=args.tol, n_shards=args.shards,
     )
     print(f"PageRank on {ds.name} with {result.kernel_name}: "
           f"{result.iterations} iterations, converged={result.converged}")
+    shards_used = result.extra.get("n_shards", 1)
+    if shards_used != 1:
+        print(f"sharded executor: {shards_used} row shards")
     print(f"simulated total time {result.seconds * 1e3:.3f} ms "
           f"({result.gflops:.2f} GFLOPS per iteration)")
     top = np.argsort(result.vector)[::-1][: args.top]

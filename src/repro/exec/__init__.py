@@ -12,6 +12,10 @@ The numerical path of every format and kernel runs through this layer:
 ``repro.exec.backends``
     The backend registry: the native ``numpy`` backend plus an optional
     auto-detected ``scipy`` backend (cross-check and fast path).
+``repro.exec.sharded``
+    :class:`ShardedExecutor` — the paper's §3.2 row sharding run as
+    real parallel work on a persistent thread pool, bit-identical to
+    the single-shard path.
 
 Typical use goes through the matrix API rather than this package::
 
@@ -19,6 +23,9 @@ Typical use goes through the matrix API rather than this package::
     matrix.spmv(x, out=y)           # zero-allocation steady state
     Y = matrix.spmm(X)              # batched multi-vector product
     plan = matrix.spmv_plan()       # the cached plan itself
+
+    with ShardedExecutor(matrix, n_shards=4) as ex:
+        ex.spmv(x, out=y)           # nnz-balanced shards in parallel
 """
 
 from repro.exec.backends import (
@@ -27,10 +34,17 @@ from repro.exec.backends import (
     ScipyBackend,
     available_backends,
     build_plan,
+    configure_from_env,
     default_backend_name,
     get_backend,
     register_backend,
     set_default_backend,
+)
+from repro.exec.sharded import (
+    AUTO_MIN_NNZ_PER_SHARD,
+    ShardedExecutor,
+    auto_shard_count,
+    env_shard_count,
 )
 from repro.exec.plan import (
     PLAN_CACHE_STATS,
@@ -49,6 +63,7 @@ from repro.exec.plan import (
 from repro.exec.workspace import WorkspacePool
 
 __all__ = [
+    "AUTO_MIN_NNZ_PER_SHARD",
     "PLAN_CACHE_STATS",
     "Backend",
     "COOPlan",
@@ -61,13 +76,17 @@ __all__ = [
     "PKTPlan",
     "PlanCacheStats",
     "ScipyBackend",
+    "ShardedExecutor",
     "SpMVPlan",
     "TileCOOPlan",
     "TileCompositePlan",
     "WorkspacePool",
+    "auto_shard_count",
     "available_backends",
     "build_plan",
+    "configure_from_env",
     "default_backend_name",
+    "env_shard_count",
     "get_backend",
     "register_backend",
     "set_default_backend",

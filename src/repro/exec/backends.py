@@ -11,9 +11,12 @@ When SciPy is importable it is the default backend (its row-serial
 accumulation matches the seed implementation's ``np.bincount`` order
 bit for bit, and the compiled loop is the fast path); otherwise
 ``numpy`` is.  ``REPRO_SPMV_BACKEND`` (read at import time) or
-:func:`set_default_backend` overrides the choice, and asking for an
-unavailable backend falls back to ``numpy`` rather than failing, so
-code runs unchanged on containers without SciPy.
+:func:`set_default_backend` overrides the choice.  A backend name that
+is not registered at all — including a typo'd environment variable —
+raises :class:`~repro.errors.ValidationError` naming
+:func:`available_backends`; a *registered but unavailable* backend
+(e.g. ``scipy`` on a container without SciPy) falls back to ``numpy``
+so code runs unchanged there.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ __all__ = [
     "ScipyCSRPlan",
     "available_backends",
     "build_plan",
+    "configure_from_env",
     "default_backend_name",
     "get_backend",
     "register_backend",
@@ -189,7 +193,7 @@ def _resolve(name: str | None) -> str:
     key = name.lower()
     if key not in _BACKENDS:
         raise ValidationError(
-            f"unknown backend {name!r}; registered: {sorted(_BACKENDS)}"
+            f"unknown backend {name!r}; available: {available_backends()}"
         )
     if not _BACKENDS[key].is_available():
         return "numpy"
@@ -220,12 +224,27 @@ register_backend(ScipyBackend())
 if _BACKENDS["scipy"].is_available():
     _DEFAULT_NAME = "scipy"
 
-_env_default = os.environ.get("REPRO_SPMV_BACKEND")
-if _env_default:
-    try:
-        set_default_backend(_env_default)
-    except ValidationError:  # pragma: no cover - bad env var is ignored
-        pass
+def configure_from_env() -> str:
+    """Apply the ``REPRO_SPMV_BACKEND`` environment override.
+
+    An unknown value raises :class:`ValidationError` naming
+    :func:`available_backends` — a typo'd backend must fail loudly
+    rather than silently running on the wrong execution path.  Returns
+    the resulting default backend name.
+    """
+    env_default = os.environ.get("REPRO_SPMV_BACKEND")
+    if env_default:
+        try:
+            set_default_backend(env_default)
+        except ValidationError as exc:
+            raise ValidationError(
+                f"REPRO_SPMV_BACKEND={env_default!r} is not a known "
+                f"backend; available: {available_backends()}"
+            ) from exc
+    return _DEFAULT_NAME
+
+
+configure_from_env()
 
 # check_rhs_matrix is re-exported for SparseMatrix.spmm's validation.
 _ = check_rhs_matrix

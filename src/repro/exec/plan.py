@@ -46,6 +46,7 @@ __all__ = [
     "PKTPlan",
     "TileCOOPlan",
     "TileCompositePlan",
+    "check_out_buffer",
     "check_rhs_matrix",
 ]
 
@@ -64,6 +65,22 @@ class PlanCacheStats:
 
 #: Process-wide plan-cache statistics (observability / tests).
 PLAN_CACHE_STATS = PlanCacheStats()
+
+
+def check_out_buffer(out: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Validate a caller-supplied output buffer (shared by plans and the
+    sharded executor)."""
+    if not isinstance(out, np.ndarray):
+        raise ValidationError("out must be a numpy array")
+    if out.dtype != np.float64:
+        raise ValidationError(f"out must be float64, got {out.dtype}")
+    if out.shape != shape:
+        raise ValidationError(
+            f"out has shape {out.shape}, expected {shape}"
+        )
+    if not out.flags.c_contiguous:
+        raise ValidationError("out must be C-contiguous")
+    return out
 
 
 def check_rhs_matrix(X: np.ndarray, expected_rows: int) -> np.ndarray:
@@ -191,28 +208,40 @@ class SpMVPlan(abc.ABC):
         Column ``j`` of the result is bit-identical to
         ``execute(X[:, j])``.
         """
-        X = check_rhs_matrix(X, self.n_cols)
+        X = self.normalize_rhs(X)
         out = self._check_out(out, (self.n_rows, X.shape[1]))
         self._execute_many(X, out)
         self.executions += 1
         return out
+
+    def normalize_rhs(self, X: np.ndarray) -> np.ndarray:
+        """Validate a multi-vector right-hand side without a per-call copy.
+
+        A C-contiguous float64 matrix passes through untouched; anything
+        else — Fortran-ordered iterates, strided views, other dtypes —
+        is copied once into a pooled workspace, so repeated calls with
+        the same batch shape stay allocation-free in steady state.
+        """
+        if not isinstance(X, np.ndarray):
+            X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValidationError(f"SpMM input must be 2-D, got {X.ndim}-D")
+        if X.shape[0] != self.n_cols:
+            raise ValidationError(
+                f"SpMM input has {X.shape[0]} rows, expected {self.n_cols}"
+            )
+        if X.dtype == np.float64 and X.flags.c_contiguous:
+            return X
+        staged = self.pool.buffer("spmm:rhs", X.shape)
+        np.copyto(staged, X)
+        return staged
 
     def _check_out(
         self, out: np.ndarray | None, shape: tuple[int, ...]
     ) -> np.ndarray:
         if out is None:
             return np.empty(shape, dtype=np.float64)
-        if not isinstance(out, np.ndarray):
-            raise ValidationError("out must be a numpy array")
-        if out.dtype != np.float64:
-            raise ValidationError(f"out must be float64, got {out.dtype}")
-        if out.shape != shape:
-            raise ValidationError(
-                f"out has shape {out.shape}, expected {shape}"
-            )
-        if not out.flags.c_contiguous:
-            raise ValidationError("out must be C-contiguous")
-        return out
+        return check_out_buffer(out, shape)
 
     # ------------------------------------------------------------------
     # Format-specific implementations

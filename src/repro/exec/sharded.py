@@ -1,0 +1,387 @@
+"""Sharded parallel SpMV executor (paper §3.2 brought onto the host).
+
+The multi-GPU design — bitonic row partitioning, per-node local SpMV,
+allgather — runs here as *real* parallel work: the matrix's rows are
+dealt into nnz-balanced shards with
+:func:`~repro.multigpu.bitonic.bitonic_partition`, each shard is a
+row-slice sub-matrix with its own cached
+:class:`~repro.exec.plan.SpMVPlan` (built through the normal backend
+registry), and every ``spmv``/``spmm`` call fans the shards out over a
+**persistent** :class:`~concurrent.futures.ThreadPoolExecutor` — workers
+live for the executor's lifetime, no per-call pool spin-up.  The SciPy
+backend's compiled matvec and numpy's ufunc loops both release the GIL,
+so shards genuinely overlap on multi-core hosts.
+
+Each shard writes its own rows straight into the caller's ``out``
+buffer: a contiguous shard gets a zero-copy view, a bitonic
+(interleaved) shard computes into a pooled local buffer and scatters to
+its row set — the in-process analogue of the paper's allgather, with the
+shared buffer standing in for the broadcast.  Because row partitioning
+never splits a row's reduction, and every shard executes the same
+canonical row-slice reduction (ascending column order per row, exactly
+the sorted-COO/CSR order), the result is **bit-identical** to the
+single-shard path for every shard count.
+
+Yang et al.'s serpentine deal (§3.2) and the load-balancing analysis of
+Yang, Buluç & Owens (arXiv:1803.08601) both argue that shard *balance*,
+not shard count, decides throughput; ``bitonic_partition`` is therefore
+the default scheduler, and :attr:`ShardedExecutor.last_shard_seconds`
+exposes measured per-shard wall time so the claim is checkable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.exec.backends import _resolve, build_plan
+from repro.exec.plan import check_out_buffer
+from repro.exec.workspace import WorkspacePool
+from repro.formats.base import check_vector
+
+__all__ = [
+    "AUTO_MIN_NNZ_PER_SHARD",
+    "ShardedExecutor",
+    "auto_shard_count",
+    "env_shard_count",
+]
+
+#: Below this many non-zeros per shard, thread dispatch overhead beats
+#: the parallel win — the auto policy keeps such matrices on one shard.
+AUTO_MIN_NNZ_PER_SHARD = 200_000
+
+
+def env_shard_count() -> int | None:
+    """The ``REPRO_SPMV_SHARDS`` override, or ``None`` when unset.
+
+    CI uses this to force the sharded executor underneath the whole
+    mining layer; a malformed value fails loudly.
+    """
+    raw = os.environ.get("REPRO_SPMV_SHARDS")
+    if raw is None or raw == "":
+        return None
+    try:
+        count = int(raw)
+    except ValueError:
+        raise ValidationError(
+            f"REPRO_SPMV_SHARDS={raw!r} is not an integer"
+        ) from None
+    if count < 1:
+        raise ValidationError(
+            f"REPRO_SPMV_SHARDS must be >= 1, got {count}"
+        )
+    return count
+
+
+def auto_shard_count(
+    nnz: int, *, workers: int | None = None
+) -> int:
+    """Pick a shard count from the matrix size and the host's cores.
+
+    One shard per available core, but never so many that a shard drops
+    below :data:`AUTO_MIN_NNZ_PER_SHARD` non-zeros: small matrices stay
+    single-shard (and therefore dispatch-free), large ones use the
+    machine.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, min(workers, nnz // AUTO_MIN_NNZ_PER_SHARD))
+
+
+class _Shard:
+    """One row shard: its row set, cached plan, and scratch space."""
+
+    __slots__ = ("index", "row_ids", "matrix", "plan", "pool", "start", "stop")
+
+    def __init__(self, index: int, row_ids: np.ndarray, matrix) -> None:
+        self.index = index
+        self.row_ids = row_ids
+        self.matrix = matrix
+        self.plan = None  # built lazily per backend by the executor
+        self.pool = WorkspacePool()
+        # Contiguous shards write through a zero-copy view of ``out``.
+        if row_ids.size and row_ids[-1] - row_ids[0] + 1 == row_ids.size:
+            self.start, self.stop = int(row_ids[0]), int(row_ids[-1]) + 1
+        else:
+            self.start = self.stop = -1
+
+    @property
+    def contiguous(self) -> bool:
+        return self.start >= 0
+
+    @property
+    def nnz(self) -> int:
+        return self.matrix.nnz
+
+
+class ShardedExecutor:
+    """Parallel SpMV/SpMM over row shards on a persistent thread pool.
+
+    Parameters
+    ----------
+    matrix:
+        Any :class:`~repro.formats.base.SparseMatrix`.
+    n_shards:
+        Number of row shards; ``None`` (or ``"auto"``) applies the auto
+        policy — ``REPRO_SPMV_SHARDS`` if set, else one shard per core
+        capped so shards keep at least :data:`AUTO_MIN_NNZ_PER_SHARD`
+        non-zeros.
+    partition:
+        ``"bitonic"`` (nnz-balanced serpentine deal, the default) or
+        ``"contiguous"`` (equal row blocks, zero-copy output views).
+    backend:
+        Execution backend for the per-shard plans (default: the
+        registry default).
+    assignment:
+        Pre-computed row→shard assignment (overrides ``partition``);
+        lets the multi-GPU simulator reuse its own partition exactly.
+
+    The executor mirrors the ``spmv(x, out=)`` / ``spmm(X, out=)`` API
+    of :class:`~repro.exec.plan.SpMVPlan`, and like a plan it serves one
+    execution stream — concurrent calls on the *same* executor race on
+    its workspaces.
+    """
+
+    def __init__(
+        self,
+        matrix,
+        n_shards: int | str | None = None,
+        *,
+        partition: str = "bitonic",
+        backend: str | None = None,
+        assignment: np.ndarray | None = None,
+        timing: bool = True,
+    ) -> None:
+        from repro.multigpu.bitonic import (
+            bitonic_partition,
+            contiguous_partition,
+        )
+
+        self.shape = matrix.shape
+        self.backend = _resolve(backend)
+        self.partition = partition
+        self.timing = timing
+        #: Number of completed executions (spmv and spmm both count).
+        self.executions = 0
+        self._closed = False
+
+        if n_shards is None or n_shards == "auto":
+            n_shards = env_shard_count() or auto_shard_count(matrix.nnz)
+        if not isinstance(n_shards, int) or isinstance(n_shards, bool):
+            raise ValidationError(
+                f"n_shards must be an int, 'auto' or None, got {n_shards!r}"
+            )
+        if n_shards < 1:
+            raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+
+        if assignment is not None:
+            assignment = np.asarray(assignment, dtype=np.int64)
+            if assignment.shape != (self.n_rows,):
+                raise ValidationError(
+                    "assignment must map every row to a shard"
+                )
+            if assignment.size and (
+                assignment.min() < 0 or assignment.max() >= n_shards
+            ):
+                raise ValidationError("assignment shard index out of range")
+        elif n_shards == 1 or self.n_rows == 0:
+            assignment = np.zeros(self.n_rows, dtype=np.int64)
+        elif partition == "bitonic":
+            assignment = bitonic_partition(matrix.row_lengths(), n_shards)
+        elif partition == "contiguous":
+            assignment = contiguous_partition(self.n_rows, n_shards)
+        else:
+            raise ValidationError(
+                f"unknown partition scheme {partition!r}; "
+                "expected 'bitonic' or 'contiguous'"
+            )
+        self.assignment = assignment
+
+        # Every shard executes the canonical row-sorted COO reduction
+        # (ascending column order within each row), so the per-row sum
+        # sequence is independent of the shard count — the bit-identity
+        # invariant.  The single-shard case rides the matrix's own
+        # cached plan on ``to_coo()`` (free for COO operators).
+        self.shards: list[_Shard] = []
+        if n_shards == 1:
+            shard = _Shard(
+                0, np.arange(self.n_rows, dtype=np.int64), matrix.to_coo()
+            )
+            shard.plan = shard.matrix.spmv_plan(self.backend)
+            self.shards.append(shard)
+        else:
+            for index in range(n_shards):
+                row_ids = np.nonzero(assignment == index)[0]
+                shard = _Shard(index, row_ids, matrix.row_slice(row_ids))
+                shard.plan = build_plan(shard.matrix, backend=self.backend)
+                self.shards.append(shard)
+        self._active = [s for s in self.shards if s.row_ids.size]
+        self._shard_seconds = np.zeros(n_shards)
+        # Persistent workers, spun up once; a single shard needs none.
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=max(1, len(self._active) - 1),
+                thread_name_prefix="repro-shard",
+            )
+            if len(self._active) > 1
+            else None
+        )
+        self._workspace = WorkspacePool()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return sum(shard.nnz for shard in self.shards)
+
+    @property
+    def shard_row_ids(self) -> list[np.ndarray]:
+        """Each shard's (ascending) global row indices."""
+        return [shard.row_ids for shard in self.shards]
+
+    @property
+    def shard_nnz(self) -> np.ndarray:
+        """Stored non-zeros per shard."""
+        return np.array([shard.nnz for shard in self.shards])
+
+    @property
+    def last_shard_seconds(self) -> np.ndarray:
+        """Measured per-shard wall seconds of the most recent call."""
+        return self._shard_seconds.copy()
+
+    def balance(self):
+        """Row/nnz balance diagnostics of the shard partition."""
+        from repro.multigpu.bitonic import PartitionBalance
+
+        rows = np.array([s.row_ids.size for s in self.shards])
+        return PartitionBalance(rows_per_part=rows, nnz_per_part=self.shard_nnz)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``out = A @ x``, shards in parallel, bit-identical per row."""
+        x = check_vector(x, self.n_cols)
+        out = self._check_out(out, (self.n_rows,))
+        self._run(x, out, batched=False)
+        return out
+
+    def spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Batched ``out = A @ X``; the RHS is normalised once for all
+        shards (a Fortran-ordered ``X`` costs one pooled staging copy
+        here, not one per shard)."""
+        X = self._normalize_rhs(X)
+        out = self._check_out(out, (self.n_rows, X.shape[1]))
+        self._run(X, out, batched=True)
+        return out
+
+    def _run(self, rhs: np.ndarray, out: np.ndarray, *, batched: bool) -> None:
+        if self._closed:
+            raise ValidationError("executor is closed")
+        active = self._active
+        if not active:
+            out.fill(0.0)
+            self.executions += 1
+            return
+        if self._pool is None:
+            self._shard_task(active[0], rhs, out, batched)
+        else:
+            # The caller's thread takes the first shard; the pool covers
+            # the rest — n shards occupy exactly n threads.
+            futures = [
+                self._pool.submit(self._shard_task, s, rhs, out, batched)
+                for s in active[1:]
+            ]
+            self._shard_task(active[0], rhs, out, batched)
+            for future in futures:
+                future.result()
+        self.executions += 1
+
+    def _shard_task(
+        self, shard: _Shard, rhs: np.ndarray, out: np.ndarray, batched: bool
+    ) -> None:
+        tick = time.perf_counter() if self.timing else 0.0
+        k = shard.row_ids.size
+        if shard.contiguous:
+            target = out[shard.start : shard.stop]
+            if batched:
+                shard.plan._execute_many(rhs, target)
+            else:
+                shard.plan._execute(rhs, target)
+        else:
+            if batched:
+                local = shard.pool.buffer("shard:Y", (k, rhs.shape[1]))
+                shard.plan._execute_many(rhs, local)
+            else:
+                local = shard.pool.buffer("shard:y", k)
+                shard.plan._execute(rhs, local)
+            out[shard.row_ids] = local
+        if self.timing:
+            self._shard_seconds[shard.index] = time.perf_counter() - tick
+
+    def _normalize_rhs(self, X: np.ndarray) -> np.ndarray:
+        if not isinstance(X, np.ndarray):
+            X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValidationError(f"SpMM input must be 2-D, got {X.ndim}-D")
+        if X.shape[0] != self.n_cols:
+            raise ValidationError(
+                f"SpMM input has {X.shape[0]} rows, expected {self.n_cols}"
+            )
+        if X.dtype == np.float64 and X.flags.c_contiguous:
+            return X
+        staged = self._workspace.buffer("spmm:rhs", X.shape)
+        np.copyto(staged, X)
+        return staged
+
+    def _check_out(
+        self, out: np.ndarray | None, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        if out is None:
+            return np.empty(shape, dtype=np.float64)
+        return check_out_buffer(out, shape)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker threads down; the executor is unusable after."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._closed = True
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedExecutor(shape={self.shape}, n_shards={self.n_shards}, "
+            f"partition={self.partition!r}, backend={self.backend!r}, "
+            f"executions={self.executions})"
+        )

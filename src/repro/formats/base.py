@@ -141,6 +141,18 @@ class SparseMatrix(abc.ABC):
         """
         return self.spmv_plan().execute_many(X, out=out)
 
+    def row_slice(self, row_ids: np.ndarray):
+        """Sub-matrix of the given rows (renumbered 0..k-1, all columns).
+
+        The canonical row-sorted COO slice: within every kept row the
+        stored entries remain in ascending column order, so any
+        row-decomposed execution of the slices reproduces each output
+        row's reduction — the property the sharded executor's
+        bit-identity guarantee rests on.  Row partitioning never splits
+        a row, so slicing commutes with SpMV.
+        """
+        return self.to_coo().select_rows(np.asarray(row_ids, dtype=np.int64))
+
     # ------------------------------------------------------------------
     # Shared conveniences
     # ------------------------------------------------------------------

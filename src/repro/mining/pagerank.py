@@ -16,7 +16,7 @@ from repro.formats.base import SparseMatrix
 from repro.formats.coo import COOMatrix
 from repro.gpu.spec import DeviceSpec
 from repro.kernels.base import SpMVKernel, create
-from repro.mining.power_method import MiningResult, l1_delta
+from repro.mining.power_method import MiningResult, l1_delta, resolve_engine
 from repro.mining.vector_kernels import axpy_cost, reduction_cost
 
 __all__ = ["PageRankResult", "pagerank", "pagerank_operator"]
@@ -53,6 +53,8 @@ def pagerank(
     damping: float = 0.85,
     tol: float = 1e-8,
     max_iter: int = 200,
+    executor=None,
+    n_shards: int | str | None = None,
     **kernel_options,
 ) -> MiningResult:
     """Run PageRank and report the converged vector plus simulated cost.
@@ -65,6 +67,12 @@ def pagerank(
         Kernel name (built on ``W^T``) or a pre-built kernel instance.
     damping:
         The paper sets ``c = 0.85``.
+    executor, n_shards:
+        Run the per-iteration SpMV through a
+        :class:`~repro.exec.ShardedExecutor` — either a caller-owned one
+        (built on the PageRank operator) or one built here with
+        ``n_shards`` shards (``"auto"`` for the nnz/cores policy).  The
+        iterates are bit-identical to the single-shard run.
     """
     if not 0 < damping < 1:
         raise ValidationError(f"damping must be in (0, 1), got {damping}")
@@ -85,15 +93,17 @@ def pagerank(
     base = (1.0 - damping) * p0
     iterations = 0
     converged = False
-    for iterations in range(1, max_iter + 1):
-        spmv.spmv(p, out=new_p)
-        np.multiply(new_p, damping, out=new_p)
-        new_p += base
-        delta = l1_delta(new_p, p, scratch=scratch)
-        p, new_p = new_p, p
-        if delta < tol:
-            converged = True
-            break
+    with resolve_engine(spmv, operator, executor, n_shards) as engine:
+        for iterations in range(1, max_iter + 1):
+            engine.spmv(p, out=new_p)
+            np.multiply(new_p, damping, out=new_p)
+            new_p += base
+            delta = l1_delta(new_p, p, scratch=scratch)
+            p, new_p = new_p, p
+            if delta < tol:
+                converged = True
+                break
+        shards_used = getattr(engine, "n_shards", 1)
     dev = spmv.device
     per_iteration = (
         spmv.cost()
@@ -109,5 +119,5 @@ def pagerank(
         converged=converged,
         per_iteration=per_iteration,
         total_cost=total,
-        extra={"damping": damping, "tol": tol},
+        extra={"damping": damping, "tol": tol, "n_shards": shards_used},
     )

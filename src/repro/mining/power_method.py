@@ -2,14 +2,54 @@
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, ValidationError
 from repro.gpu.costs import CostReport
 
-__all__ = ["MiningResult", "l1_delta"]
+__all__ = ["MiningResult", "l1_delta", "resolve_engine"]
+
+
+@contextmanager
+def resolve_engine(kernel, operator, executor=None, n_shards=None):
+    """Choose the object whose ``spmv``/``spmm`` drives a power loop.
+
+    With neither ``executor`` nor ``n_shards`` given, the loop runs on
+    the kernel's cached single-shard plan — unless ``REPRO_SPMV_SHARDS``
+    forces the sharded executor underneath every mining call (the CI
+    configuration).  ``n_shards`` (an int, or ``"auto"`` for the
+    nnz-and-cores policy) builds a :class:`~repro.exec.ShardedExecutor`
+    on the operator for the duration of the run; a caller-owned
+    ``executor`` (pre-built on the same operator, reusable across runs)
+    is used as-is and left open.
+    """
+    from repro.exec.sharded import ShardedExecutor, env_shard_count
+
+    if executor is not None:
+        if n_shards is not None:
+            raise ValidationError(
+                "pass either executor= or n_shards=, not both"
+            )
+        if executor.shape != operator.shape:
+            raise ValidationError(
+                f"executor shape {executor.shape} does not match the "
+                f"operator shape {operator.shape}"
+            )
+        yield executor
+        return
+    if n_shards is None:
+        n_shards = env_shard_count()
+        if n_shards is None:
+            yield kernel
+            return
+    owned = ShardedExecutor(operator, n_shards)
+    try:
+        yield owned
+    finally:
+        owned.close()
 
 
 def l1_delta(

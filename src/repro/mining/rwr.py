@@ -19,7 +19,7 @@ from repro.formats.coo import COOMatrix
 from repro.formats.csc import CSCMatrix
 from repro.gpu.spec import DeviceSpec
 from repro.kernels.base import SpMVKernel, create
-from repro.mining.power_method import MiningResult, l1_delta
+from repro.mining.power_method import MiningResult, l1_delta, resolve_engine
 from repro.mining.vector_kernels import axpy_cost, reduction_cost
 
 __all__ = ["RWRResult", "random_walk_with_restart", "rwr_operator"]
@@ -51,6 +51,8 @@ def random_walk_with_restart(
     tol: float = 1e-8,
     max_iter: int = 200,
     batched: bool = True,
+    executor=None,
+    n_shards: int | str | None = None,
     **kernel_options,
 ) -> MiningResult:
     """Run RWR for each query node and average the simulated cost.
@@ -67,6 +69,10 @@ def random_walk_with_restart(
     a contiguous copy with the same reduction the sequential path uses,
     so per-query iteration counts and vectors are bit-identical to
     running the seeds one at a time.
+
+    ``executor``/``n_shards`` route each step's SpMV/SpMM through a
+    :class:`~repro.exec.ShardedExecutor` built on the column-normalised
+    operator; walks stay bit-identical to the single-shard run.
     """
     if not 0 < restart < 1:
         raise ValidationError(f"restart must be in (0, 1), got {restart}")
@@ -93,14 +99,16 @@ def random_walk_with_restart(
         + reduction_cost(n, dev)  # convergence check
     ).relabel(f"rwr/{spmv.name}")
 
-    if batched:
-        iteration_counts, all_converged, r = _run_batched(
-            spmv, queries, n, restart, tol, max_iter
-        )
-    else:
-        iteration_counts, all_converged, r = _run_sequential(
-            spmv, queries, n, restart, tol, max_iter
-        )
+    with resolve_engine(spmv, operator, executor, n_shards) as engine:
+        if batched:
+            iteration_counts, all_converged, r = _run_batched(
+                engine, queries, n, restart, tol, max_iter
+            )
+        else:
+            iteration_counts, all_converged, r = _run_sequential(
+                engine, queries, n, restart, tol, max_iter
+            )
+        shards_used = getattr(engine, "n_shards", 1)
     mean_iterations = float(np.mean(iteration_counts))
     total = per_iteration.scaled(mean_iterations).relabel(per_iteration.label)
     return MiningResult(
@@ -116,12 +124,13 @@ def random_walk_with_restart(
             "queries": queries,
             "per_query_iterations": iteration_counts,
             "batched": batched,
+            "n_shards": shards_used,
         },
     )
 
 
 def _run_sequential(
-    spmv: SpMVKernel,
+    spmv,  # SpMVKernel or ShardedExecutor: anything with spmv(x, out=)
     queries: np.ndarray,
     n: int,
     restart: float,
@@ -157,7 +166,7 @@ def _run_sequential(
 
 
 def _run_batched(
-    spmv: SpMVKernel,
+    spmv,  # SpMVKernel or ShardedExecutor: anything with spmm(X, out=)
     queries: np.ndarray,
     n: int,
     restart: float,

@@ -6,6 +6,13 @@ allgather their ``y`` slices.  "Any SpMV kernel can be plugged into this
 multi-GPU framework"; the rows and columns of each partition of a
 power-law matrix also follow a power law, so the tile-composite kernel
 remains a good local kernel.
+
+With ``measure=True`` the simulation also *runs* the partitioned
+compute for real: the exact same row assignment drives a
+:class:`~repro.exec.ShardedExecutor` on the host, and the measured
+per-shard wall times land on the report next to the modeled GPU costs —
+so the partitioner's balance claim is checked against a clock, not just
+against nnz counts.
 """
 
 from __future__ import annotations
@@ -72,11 +79,32 @@ class MultiGPUReport:
     #: Extra per-iteration vector-kernel time (PageRank updates etc.).
     vector_seconds: float = 0.0
     iterations: int = 1
+    #: Mean measured per-shard host wall seconds per iteration, filled
+    #: when the local compute also ran for real (``measure=True``).
+    measured_shard_seconds: np.ndarray | None = None
 
     @property
     def compute_seconds(self) -> float:
         """Slowest node's kernel time (the iteration barrier)."""
         return max(r.time_seconds for r in self.node_reports)
+
+    @property
+    def measured_compute_seconds(self) -> float | None:
+        """Slowest shard's *measured* wall time (the real barrier)."""
+        if self.measured_shard_seconds is None:
+            return None
+        return float(np.max(self.measured_shard_seconds))
+
+    @property
+    def measured_imbalance(self) -> float | None:
+        """``max / mean`` of the measured shard times (1.0 = perfectly
+        balanced); ``None`` without a measurement."""
+        if self.measured_shard_seconds is None:
+            return None
+        mean = float(np.mean(self.measured_shard_seconds))
+        if mean <= 0.0:
+            return None
+        return float(np.max(self.measured_shard_seconds)) / mean
 
     @property
     def iteration_seconds(self) -> float:
@@ -129,6 +157,38 @@ def _matrix_device_bytes(kernel: SpMVKernel) -> int:
     return int(stored + 4 * n_cols + 4 * n_rows)
 
 
+def _measure_local_spmv(
+    coo,
+    assignment: np.ndarray,
+    n_shards: int,
+    *,
+    backend: str | None = None,
+    repeats: int = 3,
+) -> np.ndarray:
+    """Run the partitioned SpMV for real; mean per-shard wall seconds.
+
+    The executor reuses the *exact* simulation assignment, so what the
+    clock sees is the partition the model priced.  One warm-up call
+    builds the per-shard plans and grows the scratch pools before
+    anything is timed.
+    """
+    from repro.exec.sharded import ShardedExecutor
+
+    if repeats < 1:
+        raise ValidationError(f"measure_repeats must be >= 1, got {repeats}")
+    x = np.random.default_rng(0).random(coo.n_cols)
+    out = np.empty(coo.n_rows)
+    acc = np.zeros(n_shards)
+    with ShardedExecutor(
+        coo, n_shards, assignment=assignment, backend=backend
+    ) as executor:
+        executor.spmv(x, out=out)  # warm-up: plan build + pool growth
+        for _ in range(repeats):
+            executor.spmv(x, out=out)
+            acc += executor.last_shard_seconds
+    return acc / repeats
+
+
 def simulate_spmv(
     matrix: SparseMatrix,
     cluster: ClusterSpec,
@@ -136,6 +196,9 @@ def simulate_spmv(
     kernel: str = "tile-composite",
     partition: str = "bitonic",
     check_memory: bool = True,
+    measure: bool = False,
+    measure_backend: str | None = None,
+    measure_repeats: int = 3,
     **kernel_options,
 ) -> MultiGPUReport:
     """Partition the matrix and simulate one distributed SpMV iteration.
@@ -143,6 +206,14 @@ def simulate_spmv(
     Raises :class:`DeviceMemoryError` when any node's slice exceeds the
     per-GPU memory limit — the constraint that forces sk-2005 onto >= 3
     and uk-union onto >= 6 GPUs in the paper.
+
+    ``measure=True`` additionally executes the partitioned SpMV on the
+    host through a :class:`~repro.exec.ShardedExecutor` built on the
+    same row assignment, filling ``report.measured_shard_seconds`` (the
+    mean over ``measure_repeats`` timed calls, after one warm-up) so
+    modeled balance can be validated against measured wall time.
+    ``measure_backend`` picks the execution backend for the measured
+    run (default: the registry default).
     """
     coo = matrix.to_coo()
     row_lengths = coo.row_lengths()
@@ -176,6 +247,15 @@ def simulate_spmv(
     comm = allgather_seconds(
         4 * coo.n_rows, cluster.n_gpus, cluster.network
     )
+    measured = None
+    if measure:
+        measured = _measure_local_spmv(
+            coo,
+            assignment,
+            cluster.n_gpus,
+            backend=measure_backend,
+            repeats=measure_repeats,
+        )
     return MultiGPUReport(
         n_gpus=cluster.n_gpus,
         kernel_name=kernel,
@@ -183,6 +263,7 @@ def simulate_spmv(
         n_rows=coo.n_rows,
         node_reports=node_reports,
         comm_seconds=comm,
+        measured_shard_seconds=measured,
     )
 
 
@@ -195,10 +276,19 @@ def distributed_pagerank(
     tol: float = 1e-8,
     max_iter: int = 200,
     check_memory: bool = True,
+    measure: bool = False,
+    measure_backend: str | None = None,
     **kernel_options,
 ) -> tuple[np.ndarray, MultiGPUReport]:
     """PageRank on the cluster: returns the converged vector and the
-    per-iteration profile with the realised iteration count."""
+    per-iteration profile with the realised iteration count.
+
+    ``measure=True`` drives the whole power loop through a
+    :class:`~repro.exec.ShardedExecutor` on the simulation's bitonic
+    assignment — the iterates are bit-identical to the sequential
+    recurrence, and ``report.measured_shard_seconds`` holds the mean
+    per-shard wall time over the realised iterations.
+    """
     coo = adjacency.to_coo()
     operator = pagerank_operator(coo)
     report = simulate_spmv(
@@ -210,17 +300,46 @@ def distributed_pagerank(
     )
     # The distributed iteration is numerically identical to the
     # single-node one (row partitioning is a pure data layout), so the
-    # vector/iteration count come from the exact sequential recurrence.
+    # vector/iteration count come from the exact host recurrence —
+    # run sequentially, or sharded when a measurement is requested.
     n = operator.n_rows
     p0 = np.full(n, 1.0 / n)
     p = p0.copy()
+    new_p = np.empty(n)
+    scratch = np.empty(n)
+    base = (1.0 - damping) * p0
+    engine = None
+    measured = np.zeros(cluster.n_gpus)
+    if measure:
+        from repro.exec.sharded import ShardedExecutor
+
+        engine = ShardedExecutor(
+            operator,
+            cluster.n_gpus,
+            assignment=bitonic_partition(
+                operator.row_lengths(), cluster.n_gpus
+            ),
+            backend=measure_backend,
+        )
     iterations = 0
-    for iterations in range(1, max_iter + 1):
-        new_p = damping * operator.spmv(p) + (1.0 - damping) * p0
-        delta = l1_delta(new_p, p)
-        p = new_p
-        if delta < tol:
-            break
+    try:
+        for iterations in range(1, max_iter + 1):
+            if engine is not None:
+                engine.spmv(p, out=new_p)
+                measured += engine.last_shard_seconds
+            else:
+                operator.spmv(p, out=new_p)
+            np.multiply(new_p, damping, out=new_p)
+            new_p += base
+            delta = l1_delta(new_p, p, scratch=scratch)
+            p, new_p = new_p, p
+            if delta < tol:
+                break
+    finally:
+        if engine is not None:
+            engine.close()
+    if measure and iterations:
+        report.measured_shard_seconds = measured / iterations
     device = cluster.device
     vector = (
         axpy_cost(n // cluster.n_gpus + 1, device)

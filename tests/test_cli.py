@@ -73,6 +73,32 @@ class TestPagerank:
         assert "converged=True" in out
         assert "rank" in out
 
+    def test_sharded_execution(self, capsys):
+        code, out, _ = run(
+            capsys, "pagerank", "youtube", "--scale", "400",
+            "--kernel", "coo", "--shards", "3",
+        )
+        assert code == 0
+        assert "converged=True" in out
+        assert "3 row shards" in out
+
+    def test_auto_shards_on_small_dataset_stay_single(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_SPMV_SHARDS", raising=False)
+        code, out, _ = run(
+            capsys, "pagerank", "youtube", "--scale", "400",
+            "--kernel", "coo", "--shards", "auto",
+        )
+        assert code == 0
+        assert "row shards" not in out
+
+    def test_malformed_shards_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["pagerank", "youtube", "--shards", "many"])
+        assert exc.value.code == 2
+        assert "expected an integer or 'auto'" in capsys.readouterr().err
+
 
 class TestAutotune:
     def test_end_to_end(self, capsys):

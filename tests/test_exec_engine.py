@@ -19,6 +19,7 @@ from repro.exec import (
     WorkspacePool,
     available_backends,
     build_plan,
+    configure_from_env,
     default_backend_name,
     get_backend,
     set_default_backend,
@@ -199,6 +200,34 @@ def test_workspace_pool_reuses_buffers():
     assert len(pool) == 0
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_spmm_fortran_ordered_rhs_is_staged_not_copied_per_call(backend):
+    """A Fortran-ordered (or non-float64) RHS is normalised once into a
+    pooled workspace: bit-identical result, zero steady-state
+    allocations — the silent per-call full copy is gone."""
+    matrix = CSRMatrix.from_coo(random_coo(seed=15))
+    plan = matrix.spmv_plan(backend)
+    rng = np.random.default_rng(16)
+    X_c = np.ascontiguousarray(rng.standard_normal((matrix.n_cols, 4)))
+    X_f = np.asfortranarray(X_c)
+    Y = np.empty((matrix.n_rows, 4))
+    expected = plan.execute_many(X_c)
+    assert np.array_equal(plan.execute_many(X_f, out=Y), expected)
+    warm = plan.pool.allocations
+    for _ in range(5):
+        plan.execute_many(X_f, out=Y)
+    assert plan.pool.allocations == warm
+    assert np.array_equal(Y, expected)
+    # Non-contiguous and non-float64 inputs go through the same staging.
+    assert np.array_equal(
+        plan.execute_many(X_c[:, ::2]), expected[:, ::2]
+    )
+    assert np.array_equal(
+        plan.execute_many(X_c.astype(np.float32)),
+        plan.execute_many(X_c.astype(np.float32).astype(np.float64)),
+    )
+
+
 @pytest.mark.parametrize("fmt", ALL_FORMATS)
 def test_steady_state_performs_no_pool_allocations(fmt):
     matrix = build(fmt, random_coo(seed=7))
@@ -235,6 +264,41 @@ def test_unknown_backend_is_rejected():
         matrix.spmv_plan("cuda")
     with pytest.raises(ValidationError):
         set_default_backend("cuda")
+
+
+def test_unknown_backend_error_names_the_alternatives():
+    with pytest.raises(ValidationError) as exc:
+        set_default_backend("cuda")
+    for name in available_backends():
+        assert name in str(exc.value)
+
+
+def test_env_backend_override_applies(monkeypatch):
+    previous = default_backend_name()
+    monkeypatch.setenv("REPRO_SPMV_BACKEND", "numpy")
+    try:
+        assert configure_from_env() == "numpy"
+        assert default_backend_name() == "numpy"
+    finally:
+        set_default_backend(previous)
+
+
+def test_unknown_env_backend_fails_loudly(monkeypatch):
+    monkeypatch.setenv("REPRO_SPMV_BACKEND", "cuda")
+    with pytest.raises(ValidationError) as exc:
+        configure_from_env()
+    message = str(exc.value)
+    assert "REPRO_SPMV_BACKEND" in message
+    for name in available_backends():
+        assert name in message
+    assert default_backend_name() in available_backends()
+
+
+def test_unset_env_backend_is_a_no_op(monkeypatch):
+    previous = default_backend_name()
+    monkeypatch.delenv("REPRO_SPMV_BACKEND", raising=False)
+    assert configure_from_env() == previous
+    assert default_backend_name() == previous
 
 
 def test_set_default_backend_round_trips():

@@ -97,6 +97,54 @@ def test_bitonic_partition_properties(seed, n, parts):
     assert counts.max() - counts.min() <= 1
 
 
+@given(seed=st.integers(0, 2**31 - 1), parts=st.integers(2, 8))
+@settings(max_examples=15, deadline=None)
+def test_bitonic_never_worse_than_contiguous_on_rmat(seed, parts):
+    """§3.2 balance claim as a property: on power-law R-MAT graphs the
+    serpentine deal's nnz imbalance never exceeds contiguous blocking's
+    (R-MAT concentrates hubs at low node ids, which is contiguous
+    blocking's worst case)."""
+    from repro.graphs.rmat import rmat_graph
+
+    lengths = rmat_graph(512, 4_000, seed=seed).row_lengths()
+    bit = partition_balance(
+        lengths, bitonic_partition(lengths, parts), parts
+    )
+    cont = partition_balance(
+        lengths, contiguous_partition(lengths.size, parts), parts
+    )
+    assert bit.nnz_imbalance <= cont.nnz_imbalance
+
+
+def test_bitonic_strictly_beats_contiguous_on_rmat():
+    from repro.graphs.rmat import rmat_graph
+
+    lengths = rmat_graph(2048, 30_000, seed=5).row_lengths()
+    bit = partition_balance(lengths, bitonic_partition(lengths, 4), 4)
+    cont = partition_balance(
+        lengths, contiguous_partition(lengths.size, 4), 4
+    )
+    assert bit.nnz_imbalance < cont.nnz_imbalance
+
+
+@pytest.mark.parametrize("scheme", [bitonic_partition, contiguous_partition])
+@pytest.mark.parametrize("parts", [1, 3, 7])
+def test_partition_row_sets_exactly_tile_row_range(graph, scheme, parts):
+    if scheme is bitonic_partition:
+        assignment = scheme(graph.row_lengths(), parts)
+    else:
+        assignment = scheme(graph.n_rows, parts)
+    assert assignment.shape == (graph.n_rows,)
+    # Every row lands in exactly one part: the concatenated per-part row
+    # sets are a permutation of [0, n_rows).
+    stacked = np.sort(
+        np.concatenate(
+            [np.nonzero(assignment == p)[0] for p in range(parts)]
+        )
+    )
+    assert np.array_equal(stacked, np.arange(graph.n_rows))
+
+
 class TestNetwork:
     def test_single_node_free(self):
         assert allgather_seconds(1e6, 1, NetworkSpec()) == 0.0
@@ -182,6 +230,54 @@ class TestClusterSimulation:
     def test_rejects_zero_gpus(self):
         with pytest.raises(ValidationError):
             ClusterSpec(n_gpus=0)
+
+
+class TestMeasuredExecution:
+    """``measure=True``: the simulation also runs the partitioned SpMV
+    for real on the host and reports measured per-shard wall time."""
+
+    def test_simulate_spmv_measures_shard_seconds(self, graph, dev):
+        cluster = ClusterSpec(n_gpus=3, device=dev)
+        report = simulate_spmv(
+            graph, cluster, kernel="hyb", measure=True
+        )
+        assert report.measured_shard_seconds is not None
+        assert report.measured_shard_seconds.shape == (3,)
+        assert np.all(report.measured_shard_seconds >= 0.0)
+        assert report.measured_compute_seconds == pytest.approx(
+            float(report.measured_shard_seconds.max())
+        )
+        assert report.measured_imbalance >= 1.0
+
+    def test_unmeasured_report_has_no_measurement(self, graph, dev):
+        report = simulate_spmv(
+            graph, ClusterSpec(n_gpus=2, device=dev), kernel="hyb"
+        )
+        assert report.measured_shard_seconds is None
+        assert report.measured_compute_seconds is None
+        assert report.measured_imbalance is None
+
+    def test_measure_repeats_validated(self, graph, dev):
+        with pytest.raises(ValidationError):
+            simulate_spmv(
+                graph, ClusterSpec(n_gpus=2, device=dev), kernel="hyb",
+                measure=True, measure_repeats=0,
+            )
+
+    def test_measured_pagerank_is_bit_identical(self, graph, dev):
+        cluster = ClusterSpec(n_gpus=3, device=dev)
+        plain_vec, plain = distributed_pagerank(
+            graph, cluster, kernel="hyb"
+        )
+        measured_vec, measured = distributed_pagerank(
+            graph, cluster, kernel="hyb", measure=True
+        )
+        assert np.array_equal(plain_vec, measured_vec)
+        assert measured.iterations == plain.iterations
+        assert plain.measured_shard_seconds is None
+        assert measured.measured_shard_seconds is not None
+        assert measured.measured_shard_seconds.shape == (3,)
+        assert np.all(measured.measured_shard_seconds >= 0.0)
 
 
 class TestDistributedPageRank:

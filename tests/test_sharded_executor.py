@@ -1,0 +1,359 @@
+"""Tests of the sharded parallel SpMV executor.
+
+The load-bearing contract is **bit-identity**: for every format, every
+backend, and every shard count (including degenerate ones), the sharded
+result must equal the single-shard result bit for bit — row partitioning
+never splits a row's reduction, so parallelism must be invisible in the
+numbers.  On top of that: the auto shard policy, the
+``REPRO_SPMV_SHARDS`` override, the persistent pool / zero-allocation
+steady state, and the mining loops running unchanged on shards.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.exec import (
+    AUTO_MIN_NNZ_PER_SHARD,
+    ShardedExecutor,
+    auto_shard_count,
+    available_backends,
+    env_shard_count,
+)
+from repro.formats.convert import FORMAT_BUILDERS, to_format
+from repro.formats.coo import COOMatrix
+from repro.mining.hits import hits
+from repro.mining.pagerank import pagerank, pagerank_operator
+from repro.mining.rwr import random_walk_with_restart
+from tests.test_exec_engine import build, random_coo
+
+ALL_FORMATS = sorted(FORMAT_BUILDERS)
+BACKENDS = available_backends()
+SHARD_COUNTS = [1, 2, 3, 7, 64]  # 64 > n_rows of the 40-row fixture
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: sharded == single-shard, every format x backend x count
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sharded_spmv_bit_identical_across_shard_counts(fmt, backend):
+    matrix = build(fmt, random_coo(seed=40))
+    x = np.random.default_rng(41).standard_normal(matrix.n_cols)
+    with ShardedExecutor(matrix, 1, backend=backend) as single:
+        expected = single.spmv(x)
+    for n_shards in SHARD_COUNTS[1:]:
+        with ShardedExecutor(matrix, n_shards, backend=backend) as ex:
+            out = np.full(matrix.n_rows, np.nan)
+            returned = ex.spmv(x, out=out)
+            assert returned is out
+            assert np.array_equal(out, expected), (
+                f"{fmt}/{backend} with {n_shards} shards diverged"
+            )
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sharded_spmm_bit_identical_across_shard_counts(fmt, backend):
+    matrix = build(fmt, random_coo(seed=42))
+    X = np.random.default_rng(43).standard_normal((matrix.n_cols, 3))
+    with ShardedExecutor(matrix, 1, backend=backend) as single:
+        expected = single.spmm(X)
+    for n_shards in SHARD_COUNTS[1:]:
+        with ShardedExecutor(matrix, n_shards, backend=backend) as ex:
+            out = np.full((matrix.n_rows, 3), np.nan)
+            assert ex.spmm(X, out=out) is out
+            assert np.array_equal(out, expected)
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sharded_matches_plain_plan_numerically(fmt, backend):
+    """Sharded vs the matrix's own cached plan: bitwise where the plan
+    already runs the canonical row-serial reduction (SciPy backend, and
+    the canonical formats on numpy), allclose everywhere else (ELL/HYB
+    numpy plans associate the same products differently)."""
+    matrix = build(fmt, random_coo(seed=44))
+    x = np.random.default_rng(45).standard_normal(matrix.n_cols)
+    plain = matrix.spmv_plan(backend).execute(x)
+    with ShardedExecutor(matrix, 4, backend=backend) as ex:
+        sharded = ex.spmv(x)
+    np.testing.assert_allclose(sharded, plain, rtol=1e-12, atol=1e-14)
+    if backend == "scipy" or fmt in ("coo", "csr", "csc"):
+        assert np.array_equal(sharded, plain)
+
+
+@pytest.mark.parametrize("partition", ["bitonic", "contiguous"])
+def test_partition_schemes_agree_bitwise(partition):
+    matrix = random_coo(seed=46)
+    x = np.random.default_rng(47).standard_normal(matrix.n_cols)
+    expected = ShardedExecutor(matrix, 1).spmv(x)
+    with ShardedExecutor(matrix, 5, partition=partition) as ex:
+        assert np.array_equal(ex.spmv(x), expected)
+
+
+def test_spmm_accepts_fortran_ordered_rhs():
+    matrix = random_coo(seed=48)
+    X = np.asfortranarray(
+        np.random.default_rng(49).standard_normal((matrix.n_cols, 4))
+    )
+    with ShardedExecutor(matrix, 3) as ex:
+        expected = ex.spmm(np.ascontiguousarray(X))
+        assert np.array_equal(ex.spmm(X), expected)
+
+
+# ----------------------------------------------------------------------
+# Shard structure
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("partition", ["bitonic", "contiguous"])
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_shard_row_ids_exactly_tile_the_row_range(partition, n_shards):
+    matrix = random_coo(seed=50)
+    with ShardedExecutor(matrix, n_shards, partition=partition) as ex:
+        row_ids = ex.shard_row_ids
+        assert len(row_ids) == n_shards
+        stacked = np.sort(np.concatenate(row_ids))
+        assert np.array_equal(stacked, np.arange(matrix.n_rows))
+        assert ex.shard_nnz.sum() == matrix.nnz
+        balance = ex.balance()
+        assert balance.rows_per_part.sum() == matrix.n_rows
+
+
+def test_custom_assignment_is_honoured():
+    matrix = random_coo(seed=51)
+    rng = np.random.default_rng(52)
+    assignment = rng.integers(0, 3, size=matrix.n_rows)
+    x = rng.standard_normal(matrix.n_cols)
+    expected = ShardedExecutor(matrix, 1).spmv(x)
+    with ShardedExecutor(matrix, 3, assignment=assignment) as ex:
+        for index in range(3):
+            assert np.array_equal(
+                ex.shard_row_ids[index], np.nonzero(assignment == index)[0]
+            )
+        assert np.array_equal(ex.spmv(x), expected)
+
+
+def test_empty_matrix_yields_zeros():
+    matrix = COOMatrix.from_unsorted(
+        np.array([], dtype=np.int64),
+        np.array([], dtype=np.int64),
+        np.array([], dtype=np.float64),
+        (6, 5),
+    )
+    with ShardedExecutor(matrix, 3) as ex:
+        out = ex.spmv(np.ones(5))
+        assert np.array_equal(out, np.zeros(6))
+
+
+# ----------------------------------------------------------------------
+# Persistent pool and zero-allocation steady state
+# ----------------------------------------------------------------------
+
+
+def test_pool_persists_and_steady_state_allocates_nothing():
+    matrix = random_coo(seed=53)
+    x = np.ones(matrix.n_cols)
+    y = np.empty(matrix.n_rows)
+    X = np.ones((matrix.n_cols, 2))
+    Y = np.empty((matrix.n_rows, 2))
+    with ShardedExecutor(matrix, 4) as ex:
+        pool = ex._pool
+        assert pool is not None  # spun up once, at construction
+        ex.spmv(x, out=y)  # warm-up grows the shard scratch buffers
+        ex.spmm(X, out=Y)
+        warm = [shard.pool.allocations for shard in ex.shards]
+        for _ in range(5):
+            ex.spmv(x, out=y)
+            ex.spmm(X, out=Y)
+        assert [s.pool.allocations for s in ex.shards] == warm
+        assert ex._pool is pool  # no per-call pool spin-up
+        assert ex.executions == 12
+
+
+def test_single_shard_needs_no_thread_pool():
+    with ShardedExecutor(random_coo(seed=54), 1) as ex:
+        assert ex._pool is None
+
+
+def test_last_shard_seconds_is_per_shard_and_nonnegative():
+    matrix = random_coo(seed=55)
+    with ShardedExecutor(matrix, 3) as ex:
+        ex.spmv(np.ones(matrix.n_cols))
+        seconds = ex.last_shard_seconds
+        assert seconds.shape == (3,)
+        assert np.all(seconds >= 0.0)
+
+
+def test_closed_executor_rejects_calls():
+    matrix = random_coo(seed=56)
+    ex = ShardedExecutor(matrix, 2)
+    ex.close()
+    with pytest.raises(ValidationError):
+        ex.spmv(np.ones(matrix.n_cols))
+
+
+# ----------------------------------------------------------------------
+# Auto policy and environment override
+# ----------------------------------------------------------------------
+
+
+def test_auto_shard_count_keeps_small_matrices_single_shard():
+    assert auto_shard_count(AUTO_MIN_NNZ_PER_SHARD - 1, workers=16) == 1
+    assert auto_shard_count(0, workers=16) == 1
+
+
+def test_auto_shard_count_caps_at_workers_and_nnz():
+    assert auto_shard_count(10 * AUTO_MIN_NNZ_PER_SHARD, workers=4) == 4
+    assert auto_shard_count(3 * AUTO_MIN_NNZ_PER_SHARD, workers=16) == 3
+
+
+def test_auto_policy_on_small_matrix_is_dispatch_free(monkeypatch):
+    monkeypatch.delenv("REPRO_SPMV_SHARDS", raising=False)
+    with ShardedExecutor(random_coo(seed=57), "auto") as ex:
+        assert ex.n_shards == 1
+        assert ex._pool is None
+
+
+def test_env_shard_count_parsing(monkeypatch):
+    monkeypatch.delenv("REPRO_SPMV_SHARDS", raising=False)
+    assert env_shard_count() is None
+    monkeypatch.setenv("REPRO_SPMV_SHARDS", "")
+    assert env_shard_count() is None
+    monkeypatch.setenv("REPRO_SPMV_SHARDS", "4")
+    assert env_shard_count() == 4
+    monkeypatch.setenv("REPRO_SPMV_SHARDS", "four")
+    with pytest.raises(ValidationError):
+        env_shard_count()
+    monkeypatch.setenv("REPRO_SPMV_SHARDS", "0")
+    with pytest.raises(ValidationError):
+        env_shard_count()
+
+
+def test_env_override_routes_executor_construction(monkeypatch):
+    monkeypatch.setenv("REPRO_SPMV_SHARDS", "3")
+    with ShardedExecutor(random_coo(seed=58)) as ex:
+        assert ex.n_shards == 3
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+
+def test_constructor_validation():
+    matrix = random_coo(seed=59)
+    with pytest.raises(ValidationError):
+        ShardedExecutor(matrix, 0)
+    with pytest.raises(ValidationError):
+        ShardedExecutor(matrix, "three")
+    with pytest.raises(ValidationError):
+        ShardedExecutor(matrix, 2, partition="magic")
+    with pytest.raises(ValidationError):
+        ShardedExecutor(matrix, 2, assignment=np.zeros(3, dtype=np.int64))
+    bad = np.zeros(matrix.n_rows, dtype=np.int64)
+    bad[0] = 2  # out of range for 2 shards
+    with pytest.raises(ValidationError):
+        ShardedExecutor(matrix, 2, assignment=bad)
+
+
+def test_execution_validation():
+    matrix = random_coo(seed=60)
+    with ShardedExecutor(matrix, 2) as ex:
+        with pytest.raises(ValidationError):
+            ex.spmv(np.ones(matrix.n_cols + 1))
+        with pytest.raises(ValidationError):
+            ex.spmv(np.ones(matrix.n_cols), out=np.empty(matrix.n_rows + 1))
+        with pytest.raises(ValidationError):
+            ex.spmm(np.ones(matrix.n_cols))  # 1-D where 2-D expected
+        with pytest.raises(ValidationError):
+            ex.spmm(np.ones((matrix.n_cols + 1, 2)))
+
+
+# ----------------------------------------------------------------------
+# Mining loops on shards: convergence parity, bit for bit
+# ----------------------------------------------------------------------
+
+
+def mining_graph(seed: int = 70):
+    rng = np.random.default_rng(seed)
+    n, m = 80, 400
+    return COOMatrix.from_edges(
+        rng.integers(0, n, size=m), rng.integers(0, n, size=m), (n, n)
+    )
+
+
+def test_pagerank_sharded_matches_default_bitwise():
+    graph = mining_graph()
+    base = pagerank(graph, kernel="csr")
+    for n_shards in (1, 3, 8):
+        sharded = pagerank(graph, kernel="csr", n_shards=n_shards)
+        assert sharded.iterations == base.iterations
+        assert sharded.converged == base.converged
+        assert np.array_equal(sharded.vector, base.vector)
+        assert sharded.extra["n_shards"] == n_shards
+
+
+def test_hits_sharded_matches_default_bitwise():
+    graph = mining_graph(seed=71)
+    base = hits(graph, kernel="csr")
+    sharded = hits(graph, kernel="csr", n_shards=4)
+    assert sharded.iterations == base.iterations
+    assert np.array_equal(sharded.vector, base.vector)
+    assert sharded.extra["n_shards"] == 4
+
+
+@pytest.mark.parametrize("batched", [True, False])
+def test_rwr_sharded_matches_default_bitwise(batched):
+    graph = mining_graph(seed=72)
+    queries = np.array([5, 19, 63])
+    base = random_walk_with_restart(
+        graph, kernel="csr", queries=queries, batched=batched
+    )
+    sharded = random_walk_with_restart(
+        graph, kernel="csr", queries=queries, batched=batched, n_shards=3
+    )
+    assert (
+        base.extra["per_query_iterations"]
+        == sharded.extra["per_query_iterations"]
+    )
+    assert np.array_equal(base.vector, sharded.vector)
+
+
+def test_caller_owned_executor_is_reused_and_left_open():
+    graph = mining_graph(seed=73)
+    operator = pagerank_operator(graph.to_coo())
+    base = pagerank(graph, kernel="csr")
+    with ShardedExecutor(operator, 4) as ex:
+        first = pagerank(graph, kernel="csr", executor=ex)
+        second = pagerank(graph, kernel="csr", executor=ex)
+        assert ex.executions >= first.iterations + second.iterations
+    assert np.array_equal(first.vector, base.vector)
+    assert np.array_equal(second.vector, base.vector)
+
+
+def test_mining_rejects_executor_and_shards_together():
+    graph = mining_graph(seed=74)
+    operator = pagerank_operator(graph.to_coo())
+    with ShardedExecutor(operator, 2) as ex:
+        with pytest.raises(ValidationError):
+            pagerank(graph, kernel="csr", executor=ex, n_shards=2)
+
+
+def test_mining_rejects_mismatched_executor_shape():
+    graph = mining_graph(seed=75)
+    with ShardedExecutor(random_coo(seed=76), 2) as ex:
+        with pytest.raises(ValidationError):
+            pagerank(graph, kernel="csr", executor=ex)
+
+
+def test_env_shards_force_mining_onto_executor(monkeypatch):
+    graph = mining_graph(seed=77)
+    base = pagerank(graph, kernel="csr")
+    monkeypatch.setenv("REPRO_SPMV_SHARDS", "4")
+    forced = pagerank(graph, kernel="csr")
+    assert forced.extra["n_shards"] == 4
+    assert np.array_equal(forced.vector, base.vector)
