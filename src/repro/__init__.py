@@ -27,6 +27,9 @@ The package is organised as:
 ``repro.graphs``
     Synthetic dataset generators standing in for the paper's web/social
     graphs and unstructured matrices.
+``repro.obs``
+    Observability: metrics registry, trace spans and per-iteration
+    convergence records, zero-overhead while disabled (``REPRO_OBS``).
 
 Quickstart::
 

@@ -14,11 +14,17 @@ Small, scriptable entry points over the library's main flows:
     chosen tile count / workload sizes and the model's prediction.
 ``info``
     Structural fingerprint of a dataset (degree skew, power-law fit).
+``profile``
+    Run the instrumented PageRank/HITS/RWR workload on an R-MAT graph
+    with the observability layer enabled and emit the JSON profile
+    report (plan-cache and pool hit rates, per-shard seconds,
+    per-iteration residual traces).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -112,6 +118,32 @@ def build_parser() -> argparse.ArgumentParser:
         "info", help="structural fingerprint of a dataset"
     )
     add_dataset_args(info)
+
+    profile = sub.add_parser(
+        "profile",
+        help="instrumented PageRank/HITS/RWR run emitting a JSON "
+        "profile report",
+    )
+    profile.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized graph and iteration budget",
+    )
+    profile.add_argument(
+        "--nodes", type=int, default=4096, help="R-MAT vertex count"
+    )
+    profile.add_argument(
+        "--edges", type=int, default=65536, help="R-MAT edge draws"
+    )
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument(
+        "--shards", type=_shard_count, default=2, metavar="N|auto",
+        help="shard count for the PageRank leg (default: 2)",
+    )
+    profile.add_argument("--tol", type=float, default=1e-8)
+    profile.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSON report here (default: print to stdout)",
+    )
     return parser
 
 
@@ -235,12 +267,62 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import run_profile
+
+    report = run_profile(
+        n_nodes=args.nodes,
+        n_edges=args.edges,
+        seed=args.seed,
+        shards=args.shards,
+        tol=args.tol,
+        quick=args.quick,
+    )
+    payload = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+    derived = report["derived"]
+
+    def _pct(rate):
+        return "n/a" if rate is None else f"{100 * rate:.1f}%"
+
+    rows = [
+        ["plan-cache hit rate", _pct(derived["plan_cache_hit_rate"])],
+        ["pool hit rate", _pct(derived["pool_hit_rate"])],
+        ["pool bytes allocated", f"{derived['pool_bytes_allocated']:,.0f}"],
+        ["shard imbalance (max/mean)",
+         "n/a" if derived["shard_imbalance"] is None
+         else f"{derived['shard_imbalance']:.2f}"],
+    ]
+    for key, seconds in derived["per_shard_seconds"].items():
+        rows.append([key, f"{seconds * 1e3:.3f} ms"])
+    for name, section in report["algorithms"].items():
+        rows.append([
+            f"{name} iterations",
+            f"{section['iterations']} "
+            f"(converged={section['converged']})",
+        ])
+    config = report["config"]
+    print(ascii_table(
+        ["metric", "value"], rows,
+        title=f"repro profile — R-MAT {config['n_nodes']:,} nodes, "
+        f"{config['nnz']:,} nnz",
+    ))
+    if args.out:
+        print(f"report written to {args.out}")
+    else:
+        print(payload)
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "spmv": _cmd_spmv,
     "pagerank": _cmd_pagerank,
     "autotune": _cmd_autotune,
     "info": _cmd_info,
+    "profile": _cmd_profile,
 }
 
 

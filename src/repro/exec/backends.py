@@ -23,11 +23,13 @@ from __future__ import annotations
 
 import abc
 import os
+import time
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.exec.plan import SpMVPlan, check_rhs_matrix
+from repro.obs import metrics as _metrics
 
 __all__ = [
     "Backend",
@@ -211,9 +213,21 @@ def build_plan(matrix, backend: str | None = None) -> SpMVPlan:
     Backends may decline a matrix (return ``None``); the numpy backend
     is the universal fallback.
     """
+    if _metrics._ENABLED:
+        tick = time.perf_counter()
     plan = get_backend(backend).build_plan(matrix)
     if plan is None:  # pragma: no cover - numpy never declines
         plan = _BACKENDS["numpy"].build_plan(matrix)
+    if _metrics._ENABLED:
+        _metrics.METRICS.inc(
+            "plan.builds", plan=type(plan).__name__, backend=plan.backend
+        )
+        _metrics.METRICS.observe(
+            "plan.build.seconds",
+            time.perf_counter() - tick,
+            plan=type(plan).__name__,
+            backend=plan.backend,
+        )
     return plan
 
 

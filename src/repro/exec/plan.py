@@ -26,12 +26,14 @@ numerical path.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.exec.workspace import WorkspacePool
+from repro.obs import metrics as _metrics
 
 __all__ = [
     "PLAN_CACHE_STATS",
@@ -195,7 +197,20 @@ class SpMVPlan(abc.ABC):
 
         x = check_vector(x, self.n_cols)
         out = self._check_out(out, (self.n_rows,))
-        self._execute(x, out)
+        if _metrics._ENABLED:
+            tick = time.perf_counter()
+            self._execute(x, out)
+            _metrics.METRICS.inc(
+                "spmv.calls", plan=type(self).__name__, backend=self.backend
+            )
+            _metrics.METRICS.observe(
+                "spmv.seconds",
+                time.perf_counter() - tick,
+                plan=type(self).__name__,
+                backend=self.backend,
+            )
+        else:
+            self._execute(x, out)
         self.executions += 1
         return out
 
@@ -210,7 +225,20 @@ class SpMVPlan(abc.ABC):
         """
         X = self.normalize_rhs(X)
         out = self._check_out(out, (self.n_rows, X.shape[1]))
-        self._execute_many(X, out)
+        if _metrics._ENABLED:
+            tick = time.perf_counter()
+            self._execute_many(X, out)
+            _metrics.METRICS.inc(
+                "spmm.calls", plan=type(self).__name__, backend=self.backend
+            )
+            _metrics.METRICS.observe(
+                "spmm.seconds",
+                time.perf_counter() - tick,
+                plan=type(self).__name__,
+                backend=self.backend,
+            )
+        else:
+            self._execute_many(X, out)
         self.executions += 1
         return out
 

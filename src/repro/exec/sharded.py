@@ -32,6 +32,7 @@ exposes measured per-shard wall time so the claim is checkable.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -42,6 +43,7 @@ from repro.exec.backends import _resolve, build_plan
 from repro.exec.plan import check_out_buffer
 from repro.exec.workspace import WorkspacePool
 from repro.formats.base import check_vector
+from repro.obs import metrics as _metrics
 
 __all__ = [
     "AUTO_MIN_NNZ_PER_SHARD",
@@ -232,6 +234,11 @@ class ShardedExecutor:
             else None
         )
         self._workspace = WorkspacePool()
+        # Serialises whole calls: the shard pools and the shard-seconds
+        # array are per-executor state, so concurrent ``spmv``/``spmm``
+        # calls from different threads are safe (they queue) while the
+        # internal shard fan-out still runs in parallel.
+        self._call_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -294,24 +301,49 @@ class ShardedExecutor:
     def _run(self, rhs: np.ndarray, out: np.ndarray, *, batched: bool) -> None:
         if self._closed:
             raise ValidationError("executor is closed")
-        active = self._active
-        if not active:
-            out.fill(0.0)
+        with self._call_lock:
+            active = self._active
+            if not active:
+                out.fill(0.0)
+                self.executions += 1
+                return
+            if self._pool is None:
+                self._shard_task(active[0], rhs, out, batched)
+            else:
+                # The caller's thread takes the first shard; the pool
+                # covers the rest — n shards occupy exactly n threads.
+                futures = [
+                    self._pool.submit(self._shard_task, s, rhs, out, batched)
+                    for s in active[1:]
+                ]
+                self._shard_task(active[0], rhs, out, batched)
+                for future in futures:
+                    future.result()
             self.executions += 1
+            if _metrics._ENABLED:
+                self._report_metrics(batched)
+
+    def _report_metrics(self, batched: bool) -> None:
+        """Feed the registry after a completed call (obs enabled only)."""
+        _metrics.METRICS.inc(
+            "sharded.calls",
+            kind="spmm" if batched else "spmv",
+            n_shards=self.n_shards,
+        )
+        if not self.timing:
             return
-        if self._pool is None:
-            self._shard_task(active[0], rhs, out, batched)
-        else:
-            # The caller's thread takes the first shard; the pool covers
-            # the rest — n shards occupy exactly n threads.
-            futures = [
-                self._pool.submit(self._shard_task, s, rhs, out, batched)
-                for s in active[1:]
-            ]
-            self._shard_task(active[0], rhs, out, batched)
-            for future in futures:
-                future.result()
-        self.executions += 1
+        seconds = self._shard_seconds
+        active_seconds = [seconds[s.index] for s in self._active]
+        for shard in self._active:
+            _metrics.METRICS.observe(
+                "sharded.shard.seconds", seconds[shard.index],
+                shard=shard.index,
+            )
+        mean = sum(active_seconds) / len(active_seconds)
+        if mean > 0.0:
+            _metrics.METRICS.set_gauge(
+                "sharded.imbalance", max(active_seconds) / mean
+            )
 
     def _shard_task(
         self, shard: _Shard, rhs: np.ndarray, out: np.ndarray, batched: bool

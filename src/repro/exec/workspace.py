@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+
 __all__ = ["WorkspacePool"]
 
 
@@ -48,6 +50,11 @@ class WorkspacePool:
             buf = np.empty(shape, dtype=dtype)
             self._buffers[name] = buf
             self.allocations += 1
+            if _metrics._ENABLED:
+                _metrics.METRICS.inc("pool.misses")
+                _metrics.METRICS.inc("pool.alloc.bytes", buf.nbytes)
+        elif _metrics._ENABLED:
+            _metrics.METRICS.inc("pool.hits")
         return buf
 
     @property

@@ -3,13 +3,20 @@
 from __future__ import annotations
 
 import abc
+import threading
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.gpu.spec import FLOAT_BYTES
+from repro.obs import metrics as _metrics
 
 __all__ = ["SparseMatrix", "check_shape", "check_vector"]
+
+#: Serialises lazy plan construction so concurrent first calls on the
+#: same matrix (e.g. sharded-executor workers sharing an operator)
+#: build each plan exactly once; cache *hits* stay lock-free.
+_PLAN_BUILD_LOCK = threading.Lock()
 
 
 def check_shape(shape: tuple[int, int]) -> tuple[int, int]:
@@ -114,13 +121,28 @@ class SparseMatrix(abc.ABC):
         plans = self.__dict__.setdefault("_spmv_plans", {})
         plan = plans.get(key)
         if plan is None:
-            from repro.exec.backends import build_plan
+            # Double-checked: the uncontended hit path above stays
+            # lock-free; a concurrent first call builds exactly once.
+            with _PLAN_BUILD_LOCK:
+                plan = plans.get(key)
+                if plan is None:
+                    from repro.exec.backends import build_plan
 
-            plan = build_plan(self, backend=key)
-            plans[key] = plan
-            PLAN_CACHE_STATS.builds += 1
+                    plan = build_plan(self, backend=key)
+                    plans[key] = plan
+                    PLAN_CACHE_STATS.builds += 1
+                    if _metrics._ENABLED:
+                        _metrics.METRICS.inc(
+                            "plan.cache.builds", backend=key
+                        )
+                else:
+                    PLAN_CACHE_STATS.hits += 1
+                    if _metrics._ENABLED:
+                        _metrics.METRICS.inc("plan.cache.hits", backend=key)
         else:
             PLAN_CACHE_STATS.hits += 1
+            if _metrics._ENABLED:
+                _metrics.METRICS.inc("plan.cache.hits", backend=key)
         return plan
 
     def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:

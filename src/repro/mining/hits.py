@@ -21,7 +21,13 @@ from repro.formats.base import SparseMatrix
 from repro.formats.coo import COOMatrix
 from repro.gpu.spec import DeviceSpec
 from repro.kernels.base import SpMVKernel, create
-from repro.mining.power_method import MiningResult, l1_delta, resolve_engine
+from repro.mining.power_method import (
+    MiningResult,
+    convergence_trace,
+    finish_run,
+    l1_delta,
+    resolve_engine,
+)
 from repro.mining.vector_kernels import reduction_cost, scale_cost
 
 __all__ = ["HITSResult", "hits", "hits_operator"]
@@ -93,7 +99,9 @@ def hits(
         Y = np.empty((2 * n, 2))
     iterations = 0
     converged = False
+    trace = convergence_trace("hits", tol=tol, multi_vector=multi_vector)
     with resolve_engine(spmv, operator, executor, n_shards) as engine:
+        trace.tick()
         for iterations in range(1, max_iter + 1):
             if multi_vector:
                 X[:n, 0] = v[:n]
@@ -102,12 +110,22 @@ def hits(
                 np.add(Y[:, 0], Y[:, 1], out=new_v)
             else:
                 engine.spmv(v, out=new_v)
+            if trace.active:
+                # Pre-normalisation mass of each half: the quantities
+                # the per-iteration normalisations divide away.
+                auth_mass = float(new_v[:n].sum())
+                hub_mass = float(new_v[n:].sum())
             for half in (slice(0, n), slice(n, 2 * n)):
                 total = new_v[half].sum()
                 if total > 0:
                     new_v[half] /= total
             delta = l1_delta(new_v, v, scratch=scratch)
             v, new_v = new_v, v
+            if trace.active:
+                trace.record(
+                    iterations, delta,
+                    authority_mass=auth_mass, hub_mass=hub_mass,
+                )
             if delta < tol:
                 converged = True
                 break
@@ -122,7 +140,7 @@ def hits(
         + reduction_cost(2 * n, dev)  # convergence check
     ).relabel(f"hits/{spmv.name}")
     total_cost = per_iteration.scaled(iterations).relabel(per_iteration.label)
-    return MiningResult(
+    return finish_run(trace, MiningResult(
         algorithm="hits",
         kernel_name=spmv.name,
         vector=v,
@@ -136,4 +154,4 @@ def hits(
             "multi_vector": multi_vector,
             "n_shards": shards_used,
         },
-    )
+    ))

@@ -16,7 +16,13 @@ from repro.formats.base import SparseMatrix
 from repro.formats.coo import COOMatrix
 from repro.gpu.spec import DeviceSpec
 from repro.kernels.base import SpMVKernel, create
-from repro.mining.power_method import MiningResult, l1_delta, resolve_engine
+from repro.mining.power_method import (
+    MiningResult,
+    convergence_trace,
+    finish_run,
+    l1_delta,
+    resolve_engine,
+)
 from repro.mining.vector_kernels import axpy_cost, reduction_cost
 
 __all__ = ["PageRankResult", "pagerank", "pagerank_operator"]
@@ -93,13 +99,27 @@ def pagerank(
     base = (1.0 - damping) * p0
     iterations = 0
     converged = False
+    # Per-iteration residual / dangling-mass / wall-time record; the
+    # shared NULL_TRACE (obs disabled) reduces every hook below to one
+    # attribute test, keeping the loop allocation-free.
+    trace = convergence_trace("pagerank", damping=damping, tol=tol)
     with resolve_engine(spmv, operator, executor, n_shards) as engine:
+        trace.tick()
         for iterations in range(1, max_iter + 1):
             engine.spmv(p, out=new_p)
+            if trace.active:
+                # Probability mass the operator lost at dangling nodes
+                # (rows of W^T with no incoming weight): in minus out.
+                dangling = float(p.sum() - new_p.sum())
             np.multiply(new_p, damping, out=new_p)
             new_p += base
             delta = l1_delta(new_p, p, scratch=scratch)
             p, new_p = new_p, p
+            if trace.active:
+                trace.record(
+                    iterations, delta,
+                    dangling_mass=dangling, mass=float(p.sum()),
+                )
             if delta < tol:
                 converged = True
                 break
@@ -111,7 +131,7 @@ def pagerank(
         + reduction_cost(n, dev)     # convergence check
     ).relabel(f"pagerank/{spmv.name}")
     total = per_iteration.scaled(iterations).relabel(per_iteration.label)
-    return MiningResult(
+    return finish_run(trace, MiningResult(
         algorithm="pagerank",
         kernel_name=spmv.name,
         vector=p,
@@ -120,4 +140,4 @@ def pagerank(
         per_iteration=per_iteration,
         total_cost=total,
         extra={"damping": damping, "tol": tol, "n_shards": shards_used},
-    )
+    ))

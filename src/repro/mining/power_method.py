@@ -9,8 +9,16 @@ import numpy as np
 
 from repro.errors import ConvergenceError, ValidationError
 from repro.gpu.costs import CostReport
+from repro.obs import metrics as _metrics
+from repro.obs.convergence import convergence_trace
 
-__all__ = ["MiningResult", "l1_delta", "resolve_engine"]
+__all__ = [
+    "MiningResult",
+    "convergence_trace",
+    "finish_run",
+    "l1_delta",
+    "resolve_engine",
+]
 
 
 @contextmanager
@@ -108,3 +116,30 @@ class MiningResult:
                 f"converge in {self.iterations} iterations"
             )
         return self
+
+    @property
+    def convergence(self) -> dict | None:
+        """The per-iteration convergence trace recorded by the
+        observability layer, or ``None`` when it was disabled."""
+        return self.extra.get("convergence")
+
+
+def finish_run(trace, result: MiningResult) -> MiningResult:
+    """Attach a convergence trace to a finished run and report it.
+
+    Every mining algorithm funnels its result through here: when the
+    observability layer is on, the per-iteration record lands in
+    ``result.extra["convergence"]`` and the run counters/iteration
+    histogram on the global metrics registry; when it is off this is a
+    single attribute check.
+    """
+    if trace.active:
+        result.extra["convergence"] = trace.to_dict()
+    if _metrics._ENABLED:
+        _metrics.METRICS.inc("mining.runs", algorithm=result.algorithm)
+        _metrics.METRICS.observe(
+            "mining.iterations",
+            result.iterations,
+            algorithm=result.algorithm,
+        )
+    return result

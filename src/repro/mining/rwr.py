@@ -19,7 +19,13 @@ from repro.formats.coo import COOMatrix
 from repro.formats.csc import CSCMatrix
 from repro.gpu.spec import DeviceSpec
 from repro.kernels.base import SpMVKernel, create
-from repro.mining.power_method import MiningResult, l1_delta, resolve_engine
+from repro.mining.power_method import (
+    MiningResult,
+    convergence_trace,
+    finish_run,
+    l1_delta,
+    resolve_engine,
+)
 from repro.mining.vector_kernels import axpy_cost, reduction_cost
 
 __all__ = ["RWRResult", "random_walk_with_restart", "rwr_operator"]
@@ -99,19 +105,23 @@ def random_walk_with_restart(
         + reduction_cost(n, dev)  # convergence check
     ).relabel(f"rwr/{spmv.name}")
 
+    trace = convergence_trace(
+        "rwr", restart=restart, tol=tol, batched=batched
+    )
     with resolve_engine(spmv, operator, executor, n_shards) as engine:
+        trace.tick()
         if batched:
             iteration_counts, all_converged, r = _run_batched(
-                engine, queries, n, restart, tol, max_iter
+                engine, queries, n, restart, tol, max_iter, trace
             )
         else:
             iteration_counts, all_converged, r = _run_sequential(
-                engine, queries, n, restart, tol, max_iter
+                engine, queries, n, restart, tol, max_iter, trace
             )
         shards_used = getattr(engine, "n_shards", 1)
     mean_iterations = float(np.mean(iteration_counts))
     total = per_iteration.scaled(mean_iterations).relabel(per_iteration.label)
-    return MiningResult(
+    return finish_run(trace, MiningResult(
         algorithm="rwr",
         kernel_name=spmv.name,
         vector=r,
@@ -126,7 +136,7 @@ def random_walk_with_restart(
             "batched": batched,
             "n_shards": shards_used,
         },
-    )
+    ))
 
 
 def _run_sequential(
@@ -136,6 +146,7 @@ def _run_sequential(
     restart: float,
     tol: float,
     max_iter: int,
+    trace,
 ) -> tuple[list[int], bool, np.ndarray]:
     """One power-method run per query (double-buffered)."""
     iteration_counts: list[int] = []
@@ -157,6 +168,8 @@ def _run_sequential(
             new_r += base
             delta = l1_delta(new_r, r, scratch=scratch)
             r, new_r = new_r, r
+            if trace.active:
+                trace.record(iterations, delta, query=float(query))
             if delta < tol:
                 converged = True
                 break
@@ -172,6 +185,7 @@ def _run_batched(
     restart: float,
     tol: float,
     max_iter: int,
+    trace,
 ) -> tuple[list[int], bool, np.ndarray]:
     """All query walks in lock step, one SpMM per iteration.
 
@@ -203,6 +217,8 @@ def _run_batched(
             np.copyto(col_old, R[:, j])
             delta = l1_delta(col_new, col_old, scratch=scratch)
             iteration_counts[j] = iteration
+            if trace.active:
+                trace.record(iteration, delta, query=float(queries[j]))
             if delta < tol:
                 active[j] = False
                 frozen[:, j] = R_new[:, j]

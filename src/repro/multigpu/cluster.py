@@ -31,6 +31,8 @@ from repro.mining.power_method import l1_delta
 from repro.mining.vector_kernels import axpy_cost, reduction_cost
 from repro.multigpu.bitonic import bitonic_partition, contiguous_partition
 from repro.multigpu.network import NetworkSpec, allgather_seconds
+from repro.obs import metrics as _metrics
+from repro.obs.trace import trace as _span
 
 __all__ = [
     "ClusterSpec",
@@ -249,13 +251,18 @@ def simulate_spmv(
     )
     measured = None
     if measure:
-        measured = _measure_local_spmv(
-            coo,
-            assignment,
-            cluster.n_gpus,
-            backend=measure_backend,
-            repeats=measure_repeats,
-        )
+        with _span(
+            "multigpu.measure_spmv",
+            n_gpus=cluster.n_gpus, partition=partition,
+        ):
+            measured = _measure_local_spmv(
+                coo,
+                assignment,
+                cluster.n_gpus,
+                backend=measure_backend,
+                repeats=measure_repeats,
+            )
+        _report_measurement(measured)
     return MultiGPUReport(
         n_gpus=cluster.n_gpus,
         kernel_name=kernel,
@@ -265,6 +272,21 @@ def simulate_spmv(
         comm_seconds=comm,
         measured_shard_seconds=measured,
     )
+
+
+def _report_measurement(measured: np.ndarray | None) -> None:
+    """Feed measured per-shard seconds to the metrics registry."""
+    if not _metrics._ENABLED or measured is None or measured.size == 0:
+        return
+    for shard, seconds in enumerate(measured):
+        _metrics.METRICS.observe(
+            "multigpu.shard.seconds", float(seconds), shard=shard
+        )
+    mean = float(np.mean(measured))
+    if mean > 0.0:
+        _metrics.METRICS.set_gauge(
+            "multigpu.measured_imbalance", float(np.max(measured)) / mean
+        )
 
 
 def distributed_pagerank(
@@ -323,23 +345,30 @@ def distributed_pagerank(
         )
     iterations = 0
     try:
-        for iterations in range(1, max_iter + 1):
-            if engine is not None:
-                engine.spmv(p, out=new_p)
-                measured += engine.last_shard_seconds
-            else:
-                operator.spmv(p, out=new_p)
-            np.multiply(new_p, damping, out=new_p)
-            new_p += base
-            delta = l1_delta(new_p, p, scratch=scratch)
-            p, new_p = new_p, p
-            if delta < tol:
-                break
+        with _span(
+            "multigpu.distributed_pagerank",
+            n_gpus=cluster.n_gpus, measure=measure,
+        ) as span:
+            for iterations in range(1, max_iter + 1):
+                if engine is not None:
+                    engine.spmv(p, out=new_p)
+                    measured += engine.last_shard_seconds
+                else:
+                    operator.spmv(p, out=new_p)
+                np.multiply(new_p, damping, out=new_p)
+                new_p += base
+                delta = l1_delta(new_p, p, scratch=scratch)
+                p, new_p = new_p, p
+                if delta < tol:
+                    break
+            if span is not None:
+                span["attrs"]["iterations"] = iterations
     finally:
         if engine is not None:
             engine.close()
     if measure and iterations:
         report.measured_shard_seconds = measured / iterations
+        _report_measurement(report.measured_shard_seconds)
     device = cluster.device
     vector = (
         axpy_cost(n // cluster.n_gpus + 1, device)

@@ -1,0 +1,78 @@
+"""Observability layer: metrics, tracing, convergence records.
+
+Everything is gated by one switch — the ``REPRO_OBS`` environment
+variable at import time, or :func:`enable`/:func:`disable` at runtime.
+While the switch is off every instrumentation site across the engine
+reduces to a single global-flag test: no allocation, no function call,
+no measurable overhead on the zero-allocation hot path.
+
+``repro.obs.metrics``
+    :class:`Metrics` — counters, gauges and streaming histograms in one
+    thread-safe registry (:data:`METRICS`): plan builds vs. cache hits,
+    workspace-pool hits/misses/bytes, spmv/spmm calls per plan type and
+    backend, per-shard seconds and imbalance.
+``repro.obs.trace``
+    :func:`trace` — nested span context manager over the global
+    :data:`TRACE` log, exportable as JSON.
+``repro.obs.convergence``
+    :class:`ConvergenceTrace` — per-iteration residual / dangling-mass /
+    wall-time records for the mining power loops.
+``repro.obs.profile``
+    :func:`run_profile` — the ``repro profile`` workload behind the CLI.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    result = pagerank(graph, n_shards=4)
+    print(result.extra["convergence"]["records"][:3])
+    print(obs.METRICS.snapshot()["counters"])
+    obs.export_json("trace.json")
+"""
+
+from repro.obs.convergence import (
+    NULL_TRACE,
+    ConvergenceTrace,
+    convergence_trace,
+)
+from repro.obs.metrics import (
+    METRICS,
+    Metrics,
+    count,
+    disable,
+    enable,
+    enabled,
+    observe,
+    set_gauge,
+)
+from repro.obs.trace import TRACE, TraceLog, events, export_json, trace
+
+__all__ = [
+    "METRICS",
+    "Metrics",
+    "NULL_TRACE",
+    "ConvergenceTrace",
+    "TRACE",
+    "TraceLog",
+    "convergence_trace",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "events",
+    "export_json",
+    "observe",
+    "run_profile",
+    "set_gauge",
+    "trace",
+]
+
+
+def run_profile(**kwargs):
+    """Lazy wrapper over :func:`repro.obs.profile.run_profile` (the
+    profile workload imports the mining stack; keep ``repro.obs``
+    importable from the low-level engine modules without cycles)."""
+    from repro.obs.profile import run_profile as _run
+
+    return _run(**kwargs)

@@ -1,0 +1,122 @@
+"""Per-iteration convergence tracing for the mining power loops.
+
+Every mining run (PageRank, HITS, RWR) drives the same recurrence:
+SpMV, vector update, residual check.  A :class:`ConvergenceTrace`
+records that recurrence iteration by iteration — residual, wall
+seconds, and algorithm-specific extras such as PageRank's dangling mass
+— so numerical drift shows up as a changed *trajectory*, not merely a
+changed final vector (the golden tests under ``tests/golden/`` pin
+exactly these trajectories).
+
+The factory :func:`convergence_trace` returns the shared
+:data:`NULL_TRACE` while observability is disabled: recording guards on
+``trace.active``, so a disabled power loop pays one attribute read per
+iteration and allocates nothing.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["NULL_TRACE", "ConvergenceTrace", "convergence_trace"]
+
+
+class ConvergenceTrace:
+    """Iteration-by-iteration record of one mining run."""
+
+    #: Recording is live; loops guard their bookkeeping on this.
+    active = True
+
+    def __init__(self, algorithm: str, **attrs) -> None:
+        self.algorithm = algorithm
+        self.attrs = dict(attrs)
+        self.records: list[dict] = []
+        self._tick = time.perf_counter()
+
+    def tick(self) -> None:
+        """Mark the start of an iteration (for the wall-time column)."""
+        self._tick = time.perf_counter()
+
+    def record(self, iteration: int, residual: float, **extra) -> None:
+        """Append one iteration: residual plus algorithm extras.
+
+        Wall seconds are measured since the last :meth:`tick` (or the
+        previous record).  The residual also lands on the global metrics
+        registry, so long-running mining jobs expose their convergence
+        state without keeping the full trace.
+        """
+        now = time.perf_counter()
+        entry = {
+            "iteration": int(iteration),
+            "residual": float(residual),
+            "seconds": now - self._tick,
+        }
+        for key, value in extra.items():
+            entry[key] = float(value)
+        self.records.append(entry)
+        self._tick = now
+        _metrics.set_gauge(
+            "mining.residual", residual, algorithm=self.algorithm
+        )
+        _metrics.observe(
+            "mining.iteration.seconds",
+            entry["seconds"],
+            algorithm=self.algorithm,
+        )
+
+    @property
+    def iterations(self) -> int:
+        return len(self.records)
+
+    def residuals(self) -> list[float]:
+        """The residual trajectory."""
+        return [r["residual"] for r in self.records]
+
+    def column(self, name: str) -> list[float]:
+        """One recorded column across iterations (``None`` gaps kept)."""
+        return [r.get(name) for r in self.records]
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump (golden files store exactly this)."""
+        return {
+            "algorithm": self.algorithm,
+            "attrs": dict(self.attrs),
+            "iterations": self.iterations,
+            "records": [dict(r) for r in self.records],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConvergenceTrace(algorithm={self.algorithm!r}, "
+            f"iterations={self.iterations})"
+        )
+
+
+class _NullTrace:
+    """Shared do-nothing stand-in while observability is off."""
+
+    __slots__ = ()
+    active = False
+
+    def tick(self) -> None:
+        pass
+
+    def record(self, iteration, residual, **extra) -> None:
+        pass
+
+    def to_dict(self) -> dict:  # pragma: no cover - never exported
+        return {}
+
+
+#: The singleton disabled-mode trace (never records, never allocates).
+NULL_TRACE = _NullTrace()
+
+
+def convergence_trace(algorithm: str, **attrs):
+    """A live :class:`ConvergenceTrace` when observability is enabled,
+    the shared :data:`NULL_TRACE` otherwise."""
+    if not _metrics._ENABLED:
+        return NULL_TRACE
+    return ConvergenceTrace(algorithm, **attrs)

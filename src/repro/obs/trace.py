@@ -1,0 +1,133 @@
+"""Structured tracing: nested spans in an in-memory event log.
+
+:func:`trace` is a context manager that records one *span* — a named,
+timed region with arbitrary scalar attributes — into the global
+:data:`TRACE` log.  Spans nest through a per-thread stack, so an event
+knows its parent and the log reconstructs the call tree of a profiled
+run (``repro profile`` exports it as JSON next to the metric snapshot).
+
+Like the metrics registry, tracing is a strict no-op while
+``repro.obs`` is disabled: ``trace`` yields ``None`` without touching
+the clock or the log, so hot loops can be wrapped unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["TRACE", "TraceLog", "events", "export_json", "reset", "trace"]
+
+
+class TraceLog:
+    """Append-only span log with per-thread nesting."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        self._stack = threading.local()
+        self._next_id = 0
+        #: Log epoch: span starts are reported relative to this.
+        self.origin = time.perf_counter()
+
+    def _parents(self) -> list[int]:
+        stack = getattr(self._stack, "ids", None)
+        if stack is None:
+            stack = self._stack.ids = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Record a named span around the wrapped block.
+
+        The yielded dict is the live event; callers may add attributes
+        to ``span["attrs"]`` while inside the block (e.g. an iteration
+        count known only at the end).
+        """
+        stack = self._parents()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        event = {
+            "id": span_id,
+            "name": name,
+            "parent": stack[-1] if stack else None,
+            "thread": threading.current_thread().name,
+            "start": time.perf_counter() - self.origin,
+            "seconds": None,
+            "attrs": dict(attrs),
+        }
+        stack.append(span_id)
+        tick = time.perf_counter()
+        try:
+            yield event
+        finally:
+            event["seconds"] = time.perf_counter() - tick
+            stack.pop()
+            with self._lock:
+                self._events.append(event)
+
+    def events(self) -> list[dict]:
+        """Completed spans, in completion order (children before
+        parents, as in any post-order trace)."""
+        with self._lock:
+            return list(self._events)
+
+    def find(self, name: str) -> list[dict]:
+        """Completed spans with the given name."""
+        return [e for e in self.events() if e["name"] == name]
+
+    def export_json(self, path: str | None = None, indent: int = 2) -> str:
+        """Serialise the log; optionally also write it to ``path``."""
+        payload = json.dumps({"events": self.events()}, indent=indent)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+        return payload
+
+    def reset(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._next_id = 0
+        self.origin = time.perf_counter()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TraceLog(events={len(self)})"
+
+
+#: The process-wide span log.
+TRACE = TraceLog()
+
+
+@contextmanager
+def trace(name: str, **attrs):
+    """Span context manager on the global log; yields ``None`` (and
+    records nothing) while observability is disabled."""
+    if not _metrics._ENABLED:
+        yield None
+        return
+    with TRACE.span(name, **attrs) as event:
+        yield event
+
+
+def events() -> list[dict]:
+    """Completed spans of the global log."""
+    return TRACE.events()
+
+
+def export_json(path: str | None = None, indent: int = 2) -> str:
+    """Serialise the global log (optionally to a file)."""
+    return TRACE.export_json(path, indent=indent)
+
+
+def reset() -> None:
+    """Clear the global log."""
+    TRACE.reset()

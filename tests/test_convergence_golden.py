@@ -1,0 +1,131 @@
+"""Golden convergence-trajectory tests for the mining algorithms.
+
+The observability layer records each power iteration's residual (plus
+algorithm extras such as PageRank's dangling mass).  These tests pin
+the *whole trajectory* on a fixed-seed R-MAT graph against golden JSON
+files under ``tests/golden/`` — numerical drift anywhere in the
+SpMV → update → residual chain shows up as a diverged trace long before
+it flips a ranking.
+
+Tolerances: iteration counts and convergence flags are exact; residual
+and mass columns compare with ``rtol=1e-6, atol=1e-12``, which passes
+across backends (SciPy vs numpy plans differ in the last ulp) and
+across shard counts (sharding is bit-identical per backend, so the
+``REPRO_SPMV_SHARDS`` CI job sees the same numbers) while still
+catching any real reordering of the reduction.
+
+Regenerate after an *intentional* numerical change with::
+
+    PYTHONPATH=src python tests/test_convergence_golden.py
+"""
+
+import functools
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.graphs.rmat import rmat_graph
+from repro.mining.hits import hits
+from repro.mining.pagerank import pagerank
+from repro.mining.rwr import random_walk_with_restart
+from repro.obs import metrics as metrics_mod
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+ALGORITHMS = ["pagerank", "hits", "rwr"]
+
+#: Exact-match golden columns vs float columns compared with tolerance.
+RTOL, ATOL = 1e-6, 1e-12
+
+
+def _graph():
+    return rmat_graph(128, 1024, seed=13)
+
+
+@functools.lru_cache(maxsize=1)
+def run_workload() -> dict:
+    """The pinned workload: one run per algorithm, traces attached."""
+    graph = _graph()
+    prior = metrics_mod.enabled()
+    metrics_mod.enable()
+    try:
+        results = {
+            "pagerank": pagerank(
+                graph, kernel="cpu-csr", tol=1e-8, max_iter=200
+            ),
+            "hits": hits(graph, kernel="cpu-csr", tol=1e-8, max_iter=200),
+            "rwr": random_walk_with_restart(
+                graph, kernel="cpu-csr", tol=1e-8, max_iter=200,
+                n_queries=3, seed=13,
+            ),
+        }
+    finally:
+        if not prior:
+            metrics_mod.disable()
+    return {name: trace_payload(result) for name, result in results.items()}
+
+
+def trace_payload(result) -> dict:
+    """The golden-file shape: the trace minus machine-dependent times."""
+    conv = result.convergence
+    records = [
+        {k: v for k, v in record.items() if k != "seconds"}
+        for record in conv["records"]
+    ]
+    return {
+        "algorithm": conv["algorithm"],
+        "iterations": result.iterations,
+        "converged": result.converged,
+        "records": records,
+    }
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_convergence_trajectory_matches_golden(algorithm):
+    golden_path = GOLDEN_DIR / f"{algorithm}.json"
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; regenerate with "
+        f"`PYTHONPATH=src python {__file__}`"
+    )
+    golden = json.loads(golden_path.read_text())
+    actual = run_workload()[algorithm]
+
+    assert actual["algorithm"] == golden["algorithm"]
+    assert actual["iterations"] == golden["iterations"]
+    assert actual["converged"] == golden["converged"]
+    assert len(actual["records"]) == len(golden["records"])
+
+    columns = sorted(golden["records"][0])
+    for column in columns:
+        want = np.array([r[column] for r in golden["records"]])
+        got = np.array([r[column] for r in actual["records"]])
+        if column == "iteration":
+            assert np.array_equal(got, want), "iteration column drifted"
+        else:
+            np.testing.assert_allclose(
+                got, want, rtol=RTOL, atol=ATOL,
+                err_msg=f"{algorithm} column {column!r} drifted",
+            )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_golden_traces_actually_converge(algorithm):
+    """The pinned trajectories are healthy, not frozen failures."""
+    payload = run_workload()[algorithm]
+    assert payload["converged"] is True
+    residuals = [r["residual"] for r in payload["records"]]
+    assert residuals[-1] < 1e-8
+    assert residuals[0] > residuals[-1]
+
+
+def regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, payload in run_workload().items():
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {path} ({payload['iterations']} iterations)")
+
+
+if __name__ == "__main__":
+    regenerate()

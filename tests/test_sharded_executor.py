@@ -9,6 +9,8 @@ numbers.  On top of that: the auto shard policy, the
 steady state, and the mining loops running unchanged on shards.
 """
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -357,3 +359,75 @@ def test_env_shards_force_mining_onto_executor(monkeypatch):
     forced = pagerank(graph, kernel="csr")
     assert forced.extra["n_shards"] == 4
     assert np.array_equal(forced.vector, base.vector)
+
+
+# ----------------------------------------------------------------------
+# Thread safety: one executor shared across threads
+# ----------------------------------------------------------------------
+
+
+def test_hammer_shared_executor_from_eight_threads():
+    """Eight threads hammer one executor; every result stays bitwise.
+
+    The executor serialises calls with an internal lock (see DESIGN.md
+    section 8): without it, concurrent callers would race on the shared
+    shard scratch buffers and the double-buffered gather workspace and
+    corrupt each other's outputs.
+    """
+    n_threads = 8
+    matrix = random_coo(seed=57)
+    rng = np.random.default_rng(58)
+    xs = [rng.random(matrix.n_cols) for _ in range(n_threads)]
+    Xs = [rng.random((matrix.n_cols, 3)) for _ in range(n_threads)]
+    with ShardedExecutor(matrix, 4) as ex:
+        expected_v = [ex.spmv(x) for x in xs]
+        expected_m = [ex.spmm(X) for X in Xs]
+        errors = []
+        barrier = threading.Barrier(n_threads)
+
+        def worker(i: int) -> None:
+            try:
+                barrier.wait()
+                for _ in range(25):
+                    if not np.array_equal(ex.spmv(xs[i]), expected_v[i]):
+                        raise AssertionError(f"spmv mismatch, thread {i}")
+                    if not np.array_equal(ex.spmm(Xs[i]), expected_m[i]):
+                        raise AssertionError(f"spmm mismatch, thread {i}")
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert ex.executions == n_threads * 2 + n_threads * 25 * 2
+
+
+def test_concurrent_lazy_plan_build_happens_once():
+    """A cold plan cache hit from eight threads builds exactly one plan."""
+    from repro.exec.plan import PLAN_CACHE_STATS
+
+    matrix = random_coo(seed=59)
+    baseline = PLAN_CACHE_STATS.builds
+    n_threads = 8
+    plans = [None] * n_threads
+    barrier = threading.Barrier(n_threads)
+
+    def worker(i: int) -> None:
+        barrier.wait()
+        plans[i] = matrix.spmv_plan()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert all(p is plans[0] for p in plans)
+    assert PLAN_CACHE_STATS.builds == baseline + 1
