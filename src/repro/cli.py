@@ -19,6 +19,12 @@ Small, scriptable entry points over the library's main flows:
     with the observability layer enabled and emit the JSON profile
     report (plan-cache and pool hit rates, per-shard seconds,
     per-iteration residual traces).
+``chaos``
+    Arm the fault injector against an R-MAT workload and emit a JSON
+    survival report: sharded SpMV under every fault site, a
+    pinned-iteration PageRank at a configurable shard-failure rate,
+    checkpoint/resume, and a node-failure drill — each must recover
+    bit-identically.
 """
 
 from __future__ import annotations
@@ -141,6 +147,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("--tol", type=float, default=1e-8)
     profile.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSON report here (default: print to stdout)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection survival drill emitting a JSON report",
+    )
+    chaos.add_argument(
+        "--quick", action="store_true",
+        help="smoke-test-sized graph and iteration budget",
+    )
+    chaos.add_argument(
+        "--nodes", type=int, default=1024, help="R-MAT vertex count"
+    )
+    chaos.add_argument(
+        "--edges", type=int, default=8192, help="R-MAT edge draws"
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--iterations", type=int, default=100,
+        help="pinned PageRank iteration count for the acceptance "
+        "scenario (default: 100)",
+    )
+    chaos.add_argument(
+        "--failure-rate", type=float, default=0.2,
+        help="per-attempt shard failure probability (default: 0.2)",
+    )
+    chaos.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count for the sharded scenarios (default: 4)",
+    )
+    chaos.add_argument(
         "--out", default=None, metavar="FILE",
         help="write the JSON report here (default: print to stdout)",
     )
@@ -316,6 +355,50 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.resilience.chaos import run_chaos
+
+    report = run_chaos(
+        n_nodes=args.nodes,
+        n_edges=args.edges,
+        seed=args.seed,
+        iterations=args.iterations,
+        failure_rate=args.failure_rate,
+        n_shards=args.shards,
+        quick=args.quick,
+    )
+    payload = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+    rows = []
+    for scenario in report["scenarios"]:
+        metrics = scenario.get("metrics", {})
+        rows.append([
+            scenario["name"],
+            "survived" if scenario["survived"] else "FAILED",
+            metrics.get("injected", scenario.get("injected", 0)),
+            metrics.get("retries", 0),
+            metrics.get("degraded", 0),
+        ])
+    config = report["config"]
+    print(ascii_table(
+        ["scenario", "verdict", "injected", "retries", "degraded"],
+        rows,
+        title=f"repro chaos — R-MAT {config['n_nodes']:,} nodes, "
+        f"{config['nnz']:,} nnz, failure rate "
+        f"{config['failure_rate']:g}",
+    ))
+    summary = report["summary"]
+    print(f"{summary['survived']}/{summary['scenarios']} scenarios "
+          "survived")
+    if args.out:
+        print(f"report written to {args.out}")
+    else:
+        print(payload)
+    return 0 if summary["all_survived"] else 1
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "spmv": _cmd_spmv,
@@ -323,6 +406,7 @@ _COMMANDS = {
     "autotune": _cmd_autotune,
     "info": _cmd_info,
     "profile": _cmd_profile,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -31,3 +31,24 @@ class ConvergenceError(ReproError):
 
 class ValidationError(ReproError):
     """A matrix or parameter failed structural validation."""
+
+
+class InjectedFault(ReproError):
+    """A fault raised on purpose by :class:`repro.resilience.FaultInjector`.
+
+    Only ever raised while fault injection is armed; production code never
+    sees it.  Recovery layers treat it exactly like any other shard/backend
+    failure — that equivalence is what the chaos tests exercise.
+    """
+
+
+class ShardExecutionError(ReproError):
+    """A shard exhausted its retry budget; the caller degrades serially."""
+
+
+class CorruptedOutputError(ReproError):
+    """A shard produced non-finite output (detected before aggregation)."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint is missing, malformed, or incompatible with the run."""

@@ -26,6 +26,11 @@ Typical use goes through the matrix API rather than this package::
 
     with ShardedExecutor(matrix, n_shards=4) as ex:
         ex.spmv(x, out=y)           # nnz-balanced shards in parallel
+
+When fault injection is armed (``repro.resilience``), the executor's
+calls run through per-shard timeout/retry/degradation recovery and stay
+bit-identical to the fault-free run; disarmed, none of that machinery
+executes and the zero-allocation steady state is untouched.
 """
 
 from repro.exec.backends import (

@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.exec.plan import SpMVPlan, check_rhs_matrix
 from repro.obs import metrics as _metrics
+from repro.resilience import faults as _faults
 
 __all__ = [
     "Backend",
@@ -213,6 +214,10 @@ def build_plan(matrix, backend: str | None = None) -> SpMVPlan:
     Backends may decline a matrix (return ``None``); the numpy backend
     is the universal fallback.
     """
+    if _faults._ARMED:
+        _faults.INJECTOR.fire(
+            "backend.build", matrix=type(matrix).__name__
+        )
     if _metrics._ENABLED:
         tick = time.perf_counter()
     plan = get_backend(backend).build_plan(matrix)

@@ -33,7 +33,9 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.exec.workspace import WorkspacePool
+from repro.formats.base import all_finite, coerce_array
 from repro.obs import metrics as _metrics
+from repro.resilience import faults as _faults
 
 __all__ = [
     "PLAN_CACHE_STATS",
@@ -88,18 +90,23 @@ def check_out_buffer(out: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 def check_rhs_matrix(X: np.ndarray, expected_rows: int) -> np.ndarray:
     """Validate a multi-vector right-hand side for SpMM.
 
-    Returns ``X`` itself when it is already a C-contiguous float64 2-D
-    array (no copy); otherwise coerces.
+    Returns ``X`` itself when it is already a float64 2-D array with
+    non-negative strides (no copy — Fortran-ordered iterates are legal
+    here; the pooled staging in ``normalize_rhs`` handles layout).
+    Anything else is coerced by :func:`~repro.formats.base.coerce_array`,
+    which raises a loud :class:`ValidationError` on complex/object/
+    string dtypes, wrong rank, and negative-stride views.
     """
-    if not (
-        isinstance(X, np.ndarray)
-        and X.dtype == np.float64
-        and X.ndim == 2
-        and X.flags.c_contiguous
-    ):
-        X = np.ascontiguousarray(X, dtype=np.float64)
-    if X.ndim != 2:
-        raise ValidationError(f"SpMM input must be 2-D, got {X.ndim}-D")
+    if isinstance(X, np.ndarray) and X.dtype == np.float64:
+        if X.ndim != 2:
+            raise ValidationError(f"SpMM input must be 2-D, got {X.ndim}-D")
+        if any(stride < 0 for stride in X.strides):
+            raise ValidationError(
+                "SpMM input has negative strides (a reversed view); pass "
+                "a contiguous copy instead"
+            )
+    else:
+        X = coerce_array(X, "SpMM input", ndim=2)
     if X.shape[0] != expected_rows:
         raise ValidationError(
             f"SpMM input has {X.shape[0]} rows, expected {expected_rows}"
@@ -197,6 +204,8 @@ class SpMVPlan(abc.ABC):
 
         x = check_vector(x, self.n_cols)
         out = self._check_out(out, (self.n_rows,))
+        if _faults._ARMED:
+            _faults.INJECTOR.fire("backend.spmv", plan=type(self).__name__)
         if _metrics._ENABLED:
             tick = time.perf_counter()
             self._execute(x, out)
@@ -211,6 +220,13 @@ class SpMVPlan(abc.ABC):
             )
         else:
             self._execute(x, out)
+        if _faults._ARMED:
+            # Silent corruption site: the poisoned value rides out of this
+            # call and is caught by the next check_vector / the sharded
+            # executor's output validation — never propagated quietly.
+            _faults.INJECTOR.corrupt(
+                "backend.corrupt", out, plan=type(self).__name__
+            )
         self.executions += 1
         return out
 
@@ -225,6 +241,8 @@ class SpMVPlan(abc.ABC):
         """
         X = self.normalize_rhs(X)
         out = self._check_out(out, (self.n_rows, X.shape[1]))
+        if _faults._ARMED:
+            _faults.INJECTOR.fire("backend.spmm", plan=type(self).__name__)
         if _metrics._ENABLED:
             tick = time.perf_counter()
             self._execute_many(X, out)
@@ -239,6 +257,10 @@ class SpMVPlan(abc.ABC):
             )
         else:
             self._execute_many(X, out)
+        if _faults._ARMED:
+            _faults.INJECTOR.corrupt(
+                "backend.corrupt", out, plan=type(self).__name__
+            )
         self.executions += 1
         return out
 
@@ -246,23 +268,45 @@ class SpMVPlan(abc.ABC):
         """Validate a multi-vector right-hand side without a per-call copy.
 
         A C-contiguous float64 matrix passes through untouched; anything
-        else — Fortran-ordered iterates, strided views, other dtypes —
-        is copied once into a pooled workspace, so repeated calls with
-        the same batch shape stay allocation-free in steady state.
+        else — Fortran-ordered iterates, strided views, other real
+        dtypes — is copied once into a pooled workspace, so repeated
+        calls with the same batch shape stay allocation-free in steady
+        state.  Un-coercible dtypes, wrong rank, negative strides and
+        non-finite values all raise a loud :class:`ValidationError`
+        (via :func:`~repro.formats.base.coerce_array` /
+        :func:`~repro.formats.base.all_finite`).
         """
-        if not isinstance(X, np.ndarray):
-            X = np.asarray(X, dtype=np.float64)
-        if X.ndim != 2:
-            raise ValidationError(f"SpMM input must be 2-D, got {X.ndim}-D")
+        if isinstance(X, np.ndarray):
+            if X.dtype.kind not in "buif" or X.dtype.itemsize > 8:
+                raise ValidationError(
+                    f"SpMM input has unsupported dtype {X.dtype}; expected "
+                    "a real numeric dtype convertible to float64"
+                )
+            if X.ndim != 2:
+                raise ValidationError(
+                    f"SpMM input must be 2-D, got {X.ndim}-D"
+                )
+            if any(stride < 0 for stride in X.strides):
+                raise ValidationError(
+                    "SpMM input has negative strides (a reversed view); "
+                    "pass a contiguous copy instead"
+                )
+        else:
+            X = coerce_array(X, "SpMM input", ndim=2)
         if X.shape[0] != self.n_cols:
             raise ValidationError(
                 f"SpMM input has {X.shape[0]} rows, expected {self.n_cols}"
             )
-        if X.dtype == np.float64 and X.flags.c_contiguous:
-            return X
-        staged = self.pool.buffer("spmm:rhs", X.shape)
-        np.copyto(staged, X)
-        return staged
+        if not (X.dtype == np.float64 and X.flags.c_contiguous):
+            staged = self.pool.buffer("spmm:rhs", X.shape)
+            np.copyto(staged, X)
+            X = staged
+        if X.size and not all_finite(X):
+            raise ValidationError(
+                "SpMM input contains NaN or Inf; refusing to propagate "
+                "non-finite values"
+            )
+        return X
 
     def _check_out(
         self, out: np.ndarray | None, shape: tuple[int, ...]

@@ -35,15 +35,22 @@ import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.errors import (
+    CorruptedOutputError,
+    ShardExecutionError,
+    ValidationError,
+)
 from repro.exec.backends import _resolve, build_plan
 from repro.exec.plan import check_out_buffer
 from repro.exec.workspace import WorkspacePool
-from repro.formats.base import check_vector
+from repro.formats.base import all_finite, check_vector
 from repro.obs import metrics as _metrics
+from repro.resilience import faults as _faults
+from repro.resilience.recovery import DEFAULT_RETRY_POLICY, RetryPolicy
 
 __all__ = [
     "AUTO_MIN_NNZ_PER_SHARD",
@@ -157,7 +164,13 @@ class ShardedExecutor:
         backend: str | None = None,
         assignment: np.ndarray | None = None,
         timing: bool = True,
+        retry: RetryPolicy | None = None,
     ) -> None:
+        # Lifecycle flags first: ``close``/``__del__`` must be safe on an
+        # instance whose construction failed at any later line.
+        self._closed = False
+        self._pool = None
+
         from repro.multigpu.bitonic import (
             bitonic_partition,
             contiguous_partition,
@@ -167,9 +180,17 @@ class ShardedExecutor:
         self.backend = _resolve(backend)
         self.partition = partition
         self.timing = timing
+        if retry is None:
+            retry = DEFAULT_RETRY_POLICY
+        elif not isinstance(retry, RetryPolicy):
+            raise ValidationError(
+                f"retry must be a RetryPolicy or None, got {type(retry)!r}"
+            )
+        self.retry = retry
         #: Number of completed executions (spmv and spmm both count).
         self.executions = 0
-        self._closed = False
+        self._rlock = threading.Lock()
+        self._rstats: dict[str, int] = {}
 
         if n_shards is None or n_shards == "auto":
             n_shards = env_shard_count() or auto_shard_count(matrix.nnz)
@@ -271,6 +292,17 @@ class ShardedExecutor:
         """Measured per-shard wall seconds of the most recent call."""
         return self._shard_seconds.copy()
 
+    @property
+    def resilience_stats(self) -> dict[str, int]:
+        """Cumulative recovery counters: retries, timeouts, degraded,
+        shard failures, detected corruptions, resilient calls."""
+        with self._rlock:
+            return dict(self._rstats)
+
+    def _count(self, key: str, n: int = 1) -> None:
+        with self._rlock:
+            self._rstats[key] = self._rstats.get(key, 0) + n
+
     def balance(self):
         """Row/nnz balance diagnostics of the shard partition."""
         from repro.multigpu.bitonic import PartitionBalance
@@ -307,8 +339,16 @@ class ShardedExecutor:
                 out.fill(0.0)
                 self.executions += 1
                 return
-            if self._pool is None:
-                self._shard_task(active[0], rhs, out, batched)
+            if _faults._ARMED:
+                # Chaos path: per-shard retry/timeout/degradation.  It may
+                # allocate per attempt — the zero-allocation contract only
+                # covers the disarmed steady state.
+                self._run_resilient(rhs, out, batched)
+            elif self._pool is None:
+                try:
+                    self._shard_task(active[0], rhs, out, batched)
+                except Exception:
+                    self._degrade_in_place(active[0], rhs, out, batched)
             else:
                 # The caller's thread takes the first shard; the pool
                 # covers the rest — n shards occupy exactly n threads.
@@ -316,12 +356,185 @@ class ShardedExecutor:
                     self._pool.submit(self._shard_task, s, rhs, out, batched)
                     for s in active[1:]
                 ]
-                self._shard_task(active[0], rhs, out, batched)
-                for future in futures:
-                    future.result()
+                failed = []
+                try:
+                    self._shard_task(active[0], rhs, out, batched)
+                except Exception:
+                    failed.append(active[0])
+                for shard, future in zip(active[1:], futures):
+                    try:
+                        future.result()
+                    except Exception:
+                        failed.append(shard)
+                # Graceful degradation: failed shards re-execute serially
+                # in the caller thread; a second failure is a real bug and
+                # propagates.
+                for shard in failed:
+                    self._degrade_in_place(shard, rhs, out, batched)
             self.executions += 1
             if _metrics._ENABLED:
                 self._report_metrics(batched)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def _degrade_in_place(
+        self, shard: _Shard, rhs: np.ndarray, out: np.ndarray, batched: bool
+    ) -> None:
+        """Serial re-execution of a failed shard in the caller thread.
+
+        Shards fully overwrite their rows of ``out``, so re-running over
+        a partial write is safe.  Runs with fault injection suppressed —
+        the fallback must be fault-free for recovery to terminate.
+        """
+        self._count("degraded")
+        if _metrics._ENABLED:
+            _metrics.METRICS.inc(
+                "resilience.degraded", reason="error", shard=shard.index
+            )
+        with _faults.INJECTOR.suppressed():
+            self._shard_task(shard, rhs, out, batched)
+
+    def _run_resilient(
+        self, rhs: np.ndarray, out: np.ndarray, batched: bool
+    ) -> None:
+        """Fault-tolerant fan-out: each shard attempt computes into a
+        fresh local buffer; exactly one winning buffer per shard is
+        scattered into ``out`` after every shard settled.  That keeps
+        abandoned stragglers (timeouts cannot kill a Python thread) from
+        racing recovery on shared plan workspaces or on ``out``."""
+        active = self._active
+        self._count("resilient_calls")
+        futures = []
+        if self._pool is not None:
+            futures = [
+                (s, self._pool.submit(self._attempt_shard, s, rhs, batched))
+                for s in active[1:]
+            ]
+        results: dict[int, np.ndarray] = {}
+        first = active[0]
+        try:
+            results[first.index] = self._attempt_shard(first, rhs, batched)
+        except Exception:
+            results[first.index] = self._degraded_result(
+                first, rhs, batched, reason="error"
+            )
+        timeout = self.retry.timeout_seconds
+        for shard, future in futures:
+            try:
+                results[shard.index] = future.result(timeout=timeout)
+            except FuturesTimeoutError:
+                self._count("timeouts")
+                if _metrics._ENABLED:
+                    _metrics.METRICS.inc(
+                        "resilience.timeouts", shard=shard.index
+                    )
+                # Drain the straggler (its late buffer is discarded), then
+                # recompute serially: detection + accounting, not a kill.
+                try:
+                    future.result()
+                except Exception:
+                    pass
+                results[shard.index] = self._degraded_result(
+                    shard, rhs, batched, reason="timeout"
+                )
+            except Exception:
+                results[shard.index] = self._degraded_result(
+                    shard, rhs, batched, reason="error"
+                )
+        for shard in active:
+            local = results[shard.index]
+            if shard.contiguous:
+                out[shard.start : shard.stop] = local
+            else:
+                out[shard.row_ids] = local
+
+    def _attempt_shard(
+        self, shard: _Shard, rhs: np.ndarray, batched: bool
+    ) -> np.ndarray:
+        """Bounded retry with exponential backoff around one shard."""
+        policy = self.retry
+        last: Exception | None = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self._count("retries")
+                if _metrics._ENABLED:
+                    _metrics.METRICS.inc(
+                        "resilience.retries", shard=shard.index
+                    )
+                time.sleep(policy.backoff(attempt))
+            try:
+                return self._guarded_attempt(shard, rhs, batched, attempt)
+            except Exception as exc:
+                self._count("failures")
+                if _metrics._ENABLED:
+                    _metrics.METRICS.inc(
+                        "resilience.shard.failures", shard=shard.index
+                    )
+                last = exc
+        raise ShardExecutionError(
+            f"shard {shard.index} failed after {policy.max_attempts} attempts"
+        ) from last
+
+    def _guarded_attempt(
+        self, shard: _Shard, rhs: np.ndarray, batched: bool, attempt: int
+    ) -> np.ndarray:
+        tick = time.perf_counter() if self.timing else 0.0
+        _faults.INJECTOR.fire("shard.task", shard=shard.index, attempt=attempt)
+        _faults.INJECTOR.fire(
+            "backend.spmm" if batched else "backend.spmv",
+            shard=shard.index,
+            attempt=attempt,
+        )
+        k = shard.row_ids.size
+        # Fresh buffer per attempt: an abandoned straggler must never
+        # share scratch with its replacement.
+        if batched:
+            local = np.empty((k, rhs.shape[1]))
+            shard.plan._execute_many(rhs, local)
+        else:
+            local = np.empty(k)
+            shard.plan._execute(rhs, local)
+        _faults.INJECTOR.corrupt(
+            "backend.corrupt", local, shard=shard.index, attempt=attempt
+        )
+        _faults.INJECTOR.corrupt(
+            "shard.corrupt", local, shard=shard.index, attempt=attempt
+        )
+        if self.retry.validate_outputs and local.size and not all_finite(local):
+            self._count("corruption_detected")
+            if _metrics._ENABLED:
+                _metrics.METRICS.inc(
+                    "resilience.corruption.detected", shard=shard.index
+                )
+            raise CorruptedOutputError(
+                f"shard {shard.index} produced non-finite output"
+            )
+        if self.timing:
+            self._shard_seconds[shard.index] = time.perf_counter() - tick
+        return local
+
+    def _degraded_result(
+        self, shard: _Shard, rhs: np.ndarray, batched: bool, reason: str
+    ) -> np.ndarray:
+        """Serial fault-suppressed recomputation into a fresh buffer."""
+        self._count("degraded")
+        if _metrics._ENABLED:
+            _metrics.METRICS.inc(
+                "resilience.degraded", reason=reason, shard=shard.index
+            )
+        tick = time.perf_counter() if self.timing else 0.0
+        k = shard.row_ids.size
+        local = np.empty((k, rhs.shape[1])) if batched else np.empty(k)
+        with _faults.INJECTOR.suppressed():
+            if batched:
+                shard.plan._execute_many(rhs, local)
+            else:
+                shard.plan._execute(rhs, local)
+        if self.timing:
+            self._shard_seconds[shard.index] = time.perf_counter() - tick
+        return local
 
     def _report_metrics(self, batched: bool) -> None:
         """Feed the registry after a completed call (obs enabled only)."""
@@ -368,19 +581,44 @@ class ShardedExecutor:
             self._shard_seconds[shard.index] = time.perf_counter() - tick
 
     def _normalize_rhs(self, X: np.ndarray) -> np.ndarray:
-        if not isinstance(X, np.ndarray):
-            X = np.asarray(X, dtype=np.float64)
-        if X.ndim != 2:
-            raise ValidationError(f"SpMM input must be 2-D, got {X.ndim}-D")
+        """Mirror of :meth:`SpMVPlan.normalize_rhs`: loud
+        :class:`ValidationError` on un-coercible dtypes, wrong rank,
+        negative strides and non-finite values; pooled staging keeps the
+        legal slow layouts (Fortran order, other real dtypes)
+        allocation-free in steady state."""
+        from repro.formats.base import coerce_array
+
+        if isinstance(X, np.ndarray):
+            if X.dtype.kind not in "buif" or X.dtype.itemsize > 8:
+                raise ValidationError(
+                    f"SpMM input has unsupported dtype {X.dtype}; expected "
+                    "a real numeric dtype convertible to float64"
+                )
+            if X.ndim != 2:
+                raise ValidationError(
+                    f"SpMM input must be 2-D, got {X.ndim}-D"
+                )
+            if any(stride < 0 for stride in X.strides):
+                raise ValidationError(
+                    "SpMM input has negative strides (a reversed view); "
+                    "pass a contiguous copy instead"
+                )
+        else:
+            X = coerce_array(X, "SpMM input", ndim=2)
         if X.shape[0] != self.n_cols:
             raise ValidationError(
                 f"SpMM input has {X.shape[0]} rows, expected {self.n_cols}"
             )
-        if X.dtype == np.float64 and X.flags.c_contiguous:
-            return X
-        staged = self._workspace.buffer("spmm:rhs", X.shape)
-        np.copyto(staged, X)
-        return staged
+        if not (X.dtype == np.float64 and X.flags.c_contiguous):
+            staged = self._workspace.buffer("spmm:rhs", X.shape)
+            np.copyto(staged, X)
+            X = staged
+        if X.size and not all_finite(X):
+            raise ValidationError(
+                "SpMM input contains NaN or Inf; refusing to propagate "
+                "non-finite values"
+            )
+        return X
 
     def _check_out(
         self, out: np.ndarray | None, shape: tuple[int, ...]
@@ -394,11 +632,17 @@ class ShardedExecutor:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker threads down; the executor is unusable after."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut the worker threads down; the executor is unusable after.
+
+        Idempotent, and safe on a partially-constructed instance (an
+        ``__init__`` that failed before the pool existed): ``_pool`` is
+        read defensively and double closes are no-ops.
+        """
         self._closed = True
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            self._pool = None
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "ShardedExecutor":
         return self

@@ -11,7 +11,13 @@ from repro.errors import ValidationError
 from repro.gpu.spec import FLOAT_BYTES
 from repro.obs import metrics as _metrics
 
-__all__ = ["SparseMatrix", "check_shape", "check_vector"]
+__all__ = [
+    "SparseMatrix",
+    "all_finite",
+    "check_shape",
+    "check_vector",
+    "coerce_array",
+]
 
 #: Serialises lazy plan construction so concurrent first calls on the
 #: same matrix (e.g. sharded-executor workers sharing an operator)
@@ -31,13 +37,62 @@ def check_shape(shape: tuple[int, int]) -> tuple[int, int]:
     return n_rows, n_cols
 
 
+def all_finite(a: np.ndarray) -> bool:
+    """Allocation-free finiteness probe.
+
+    ``dot(a, a)`` is the sum of squares: any NaN makes it NaN, any Inf
+    makes it Inf/NaN, and squares cannot cancel — so a finite dot
+    product proves every element is finite.  The one caveat: magnitudes
+    beyond ~1e154 overflow the square and report non-finite; validation
+    errs on the loud side there, which is the contract (inputs that
+    large overflow the product anyway).
+    """
+    flat = a.ravel(order="K")
+    return bool(np.isfinite(np.dot(flat, flat)))
+
+
+def coerce_array(a, name: str, ndim: int) -> np.ndarray:
+    """Coerce ``a`` to a C-contiguous float64 array of rank ``ndim``.
+
+    Raises a loud :class:`ValidationError` — never a silent bad result —
+    on inputs that cannot carry SpMV data exactly-ish: complex / object /
+    string / datetime dtypes, extended-precision floats, wrong rank, and
+    negative-stride (reversed) views, which callers almost never mean to
+    pass and which defeat the no-copy fast paths.
+    """
+    try:
+        arr = np.asarray(a)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} is not array-like: {exc}") from exc
+    if arr.dtype.kind not in "buif" or arr.dtype.itemsize > 8:
+        raise ValidationError(
+            f"{name} has unsupported dtype {arr.dtype}; expected a real "
+            "numeric dtype convertible to float64"
+        )
+    if arr.ndim != ndim:
+        raise ValidationError(
+            f"{name} must be {ndim}-dimensional, got {arr.ndim}-D"
+        )
+    if any(stride < 0 for stride in arr.strides):
+        raise ValidationError(
+            f"{name} has negative strides (a reversed view); pass a "
+            "contiguous copy instead"
+        )
+    return np.ascontiguousarray(arr, dtype=np.float64)
+
+
 def check_vector(x: np.ndarray, expected_len: int, name: str = "x") -> np.ndarray:
     """Validate an input vector for SpMV.
 
     A contiguous float64 vector passes through untouched (the hot path:
     power-method iterates are already in that layout, and copying them
     per call costs an O(n) allocation every iteration); anything else is
-    coerced once.
+    coerced once by :func:`coerce_array`, which raises a loud
+    :class:`ValidationError` on un-coercible dtypes, wrong rank, or
+    negative-stride views.  Every accepted vector is probed for NaN/Inf
+    (allocation-free, see :func:`all_finite`) so corruption surfaces at
+    the call that receives it instead of silently propagating through
+    hundreds of power-method iterations.
     """
     if not (
         isinstance(x, np.ndarray)
@@ -45,12 +100,15 @@ def check_vector(x: np.ndarray, expected_len: int, name: str = "x") -> np.ndarra
         and x.ndim == 1
         and x.flags.c_contiguous
     ):
-        x = np.ascontiguousarray(x, dtype=np.float64)
-    if x.ndim != 1:
-        raise ValidationError(f"{name} must be one-dimensional")
+        x = coerce_array(x, name, ndim=1)
     if x.size != expected_len:
         raise ValidationError(
             f"{name} has length {x.size}, expected {expected_len}"
+        )
+    if x.size and not all_finite(x):
+        raise ValidationError(
+            f"{name} contains NaN or Inf (or overflows the finiteness "
+            "probe); refusing to propagate non-finite values"
         )
     return x
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.errors import CheckpointError, ValidationError
 from repro.formats.base import SparseMatrix
 from repro.formats.coo import COOMatrix
 from repro.gpu.spec import DeviceSpec
@@ -26,7 +26,9 @@ from repro.mining.power_method import (
     convergence_trace,
     finish_run,
     l1_delta,
+    resolve_checkpoint,
     resolve_engine,
+    resume_checkpoint,
 )
 from repro.mining.vector_kernels import reduction_cost, scale_cost
 
@@ -65,6 +67,8 @@ def hits(
     multi_vector: bool = True,
     executor=None,
     n_shards: int | str | None = None,
+    checkpoint=None,
+    resume_from=None,
     **kernel_options,
 ) -> MiningResult:
     """Run HITS; the result vector holds authorities then hubs.
@@ -83,6 +87,10 @@ def hits(
     a :class:`~repro.exec.ShardedExecutor` built on the block operator
     (the combined matrix is exactly the kind of larger, sparser matrix
     shard balance pays off on); iterates stay bit-identical.
+
+    ``checkpoint``/``resume_from`` snapshot and restore the stacked
+    iterate ``v`` (see :func:`repro.mining.pagerank.pagerank`); resumed
+    runs replay the uninterrupted trajectory bitwise.
     """
     coo = adjacency.to_coo()
     n = coo.n_rows
@@ -91,18 +99,29 @@ def hits(
         spmv = kernel
     else:
         spmv = create(kernel, operator, device=device, **kernel_options)
-    v = np.full(2 * n, 1.0 / n)
+    ckpt_config = resolve_checkpoint(checkpoint)
+    snapshot = resume_checkpoint(resume_from, "hits", n=n)
+    start_iteration = 0
+    if snapshot is None:
+        v = np.full(2 * n, 1.0 / n)
+    else:
+        v = np.array(snapshot.array("v"), dtype=np.float64)
+        if v.shape != (2 * n,):
+            raise CheckpointError(
+                f"checkpoint vector has shape {v.shape}, expected ({2 * n},)"
+            )
+        start_iteration = snapshot.iteration
     new_v = np.empty(2 * n)
     scratch = np.empty(2 * n)
     if multi_vector:
         X = np.zeros((2 * n, 2))
         Y = np.empty((2 * n, 2))
-    iterations = 0
+    iterations = start_iteration
     converged = False
     trace = convergence_trace("hits", tol=tol, multi_vector=multi_vector)
     with resolve_engine(spmv, operator, executor, n_shards) as engine:
         trace.tick()
-        for iterations in range(1, max_iter + 1):
+        for iterations in range(start_iteration + 1, max_iter + 1):
             if multi_vector:
                 X[:n, 0] = v[:n]
                 X[n:, 1] = v[n:]
@@ -126,6 +145,15 @@ def hits(
                     iterations, delta,
                     authority_mass=auth_mass, hub_mass=hub_mass,
                 )
+            if ckpt_config is not None and ckpt_config.due(iterations):
+                from repro.resilience.checkpoint import Checkpoint
+
+                ckpt_config.save(Checkpoint(
+                    algorithm="hits",
+                    iteration=iterations,
+                    arrays={"v": v.copy()},
+                    params={"n": n, "tol": tol},
+                ))
             if delta < tol:
                 converged = True
                 break
@@ -140,6 +168,14 @@ def hits(
         + reduction_cost(2 * n, dev)  # convergence check
     ).relabel(f"hits/{spmv.name}")
     total_cost = per_iteration.scaled(iterations).relabel(per_iteration.label)
+    extra = {
+        "n": n,
+        "tol": tol,
+        "multi_vector": multi_vector,
+        "n_shards": shards_used,
+    }
+    if start_iteration:
+        extra["resume_iteration"] = start_iteration
     return finish_run(trace, MiningResult(
         algorithm="hits",
         kernel_name=spmv.name,
@@ -148,10 +184,5 @@ def hits(
         converged=converged,
         per_iteration=per_iteration,
         total_cost=total_cost,
-        extra={
-            "n": n,
-            "tol": tol,
-            "multi_vector": multi_vector,
-            "n_shards": shards_used,
-        },
+        extra=extra,
     ))

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.errors import CheckpointError, ValidationError
 from repro.formats.base import SparseMatrix
 from repro.formats.coo import COOMatrix
 from repro.gpu.spec import DeviceSpec
@@ -21,7 +21,9 @@ from repro.mining.power_method import (
     convergence_trace,
     finish_run,
     l1_delta,
+    resolve_checkpoint,
     resolve_engine,
+    resume_checkpoint,
 )
 from repro.mining.vector_kernels import axpy_cost, reduction_cost
 
@@ -61,6 +63,8 @@ def pagerank(
     max_iter: int = 200,
     executor=None,
     n_shards: int | str | None = None,
+    checkpoint=None,
+    resume_from=None,
     **kernel_options,
 ) -> MiningResult:
     """Run PageRank and report the converged vector plus simulated cost.
@@ -79,6 +83,16 @@ def pagerank(
         (built on the PageRank operator) or one built here with
         ``n_shards`` shards (``"auto"`` for the nnz/cores policy).  The
         iterates are bit-identical to the single-shard run.
+    checkpoint:
+        ``None``, an iteration period (int), or a
+        :class:`~repro.resilience.CheckpointConfig` — snapshot the
+        iterate every ``every`` iterations (in memory, plus an ``.npz``
+        when the config carries a path).
+    resume_from:
+        A :class:`~repro.resilience.Checkpoint` (or ``.npz`` path) from
+        a previous run: iterations continue at ``iteration + 1`` and
+        replay the uninterrupted trajectory **bitwise** — same operator,
+        same recurrence, same reduction order.
     """
     if not 0 < damping < 1:
         raise ValidationError(f"damping must be in (0, 1), got {damping}")
@@ -89,15 +103,28 @@ def pagerank(
     else:
         spmv = create(kernel, operator, device=device, **kernel_options)
     n = operator.n_rows
+    ckpt_config = resolve_checkpoint(checkpoint)
+    snapshot = resume_checkpoint(
+        resume_from, "pagerank", n=n, damping=damping
+    )
     p0 = np.full(n, 1.0 / n)
-    p = p0.copy()
+    start_iteration = 0
+    if snapshot is None:
+        p = p0.copy()
+    else:
+        p = np.array(snapshot.array("p"), dtype=np.float64)
+        if p.shape != (n,):
+            raise CheckpointError(
+                f"checkpoint vector has shape {p.shape}, expected ({n},)"
+            )
+        start_iteration = snapshot.iteration
     # Double-buffered power method: after the plan is built on the first
     # call, each iteration is one SpMV into a reused buffer plus
     # in-place vector ops — no per-iteration heap allocation.
     new_p = np.empty(n)
     scratch = np.empty(n)
     base = (1.0 - damping) * p0
-    iterations = 0
+    iterations = start_iteration
     converged = False
     # Per-iteration residual / dangling-mass / wall-time record; the
     # shared NULL_TRACE (obs disabled) reduces every hook below to one
@@ -105,7 +132,7 @@ def pagerank(
     trace = convergence_trace("pagerank", damping=damping, tol=tol)
     with resolve_engine(spmv, operator, executor, n_shards) as engine:
         trace.tick()
-        for iterations in range(1, max_iter + 1):
+        for iterations in range(start_iteration + 1, max_iter + 1):
             engine.spmv(p, out=new_p)
             if trace.active:
                 # Probability mass the operator lost at dangling nodes
@@ -120,6 +147,15 @@ def pagerank(
                     iterations, delta,
                     dangling_mass=dangling, mass=float(p.sum()),
                 )
+            if ckpt_config is not None and ckpt_config.due(iterations):
+                from repro.resilience.checkpoint import Checkpoint
+
+                ckpt_config.save(Checkpoint(
+                    algorithm="pagerank",
+                    iteration=iterations,
+                    arrays={"p": p.copy()},
+                    params={"n": n, "damping": damping, "tol": tol},
+                ))
             if delta < tol:
                 converged = True
                 break
@@ -131,6 +167,9 @@ def pagerank(
         + reduction_cost(n, dev)     # convergence check
     ).relabel(f"pagerank/{spmv.name}")
     total = per_iteration.scaled(iterations).relabel(per_iteration.label)
+    extra = {"damping": damping, "tol": tol, "n_shards": shards_used}
+    if start_iteration:
+        extra["resume_iteration"] = start_iteration
     return finish_run(trace, MiningResult(
         algorithm="pagerank",
         kernel_name=spmv.name,
@@ -139,5 +178,5 @@ def pagerank(
         converged=converged,
         per_iteration=per_iteration,
         total_cost=total,
-        extra={"damping": damping, "tol": tol, "n_shards": shards_used},
+        extra=extra,
     ))

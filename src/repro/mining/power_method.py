@@ -17,7 +17,9 @@ __all__ = [
     "convergence_trace",
     "finish_run",
     "l1_delta",
+    "resolve_checkpoint",
     "resolve_engine",
+    "resume_checkpoint",
 ]
 
 
@@ -58,6 +60,40 @@ def resolve_engine(kernel, operator, executor=None, n_shards=None):
         yield owned
     finally:
         owned.close()
+
+
+def resolve_checkpoint(checkpoint):
+    """Normalise a mining ``checkpoint=`` argument.
+
+    Accepts ``None`` (no snapshots), an int period, or a full
+    :class:`~repro.resilience.CheckpointConfig`.
+    """
+    from repro.resilience.checkpoint import normalize_checkpoint
+
+    return normalize_checkpoint(checkpoint)
+
+
+def resume_checkpoint(resume_from, algorithm: str, **require):
+    """Load and validate a mining ``resume_from=`` argument.
+
+    Accepts ``None``, a :class:`~repro.resilience.Checkpoint`, or a path
+    to a saved ``.npz`` snapshot.  Parameter mismatches (wrong algorithm,
+    wrong graph size, different damping, …) raise
+    :class:`~repro.errors.CheckpointError` — a resumed run must replay
+    the uninterrupted trajectory bitwise, which only holds when the
+    recurrence is identical.
+    """
+    if resume_from is None:
+        return None
+    from repro.resilience.checkpoint import load_checkpoint
+
+    snapshot = load_checkpoint(resume_from)
+    snapshot.require(algorithm, **require)
+    if _metrics._ENABLED:
+        _metrics.METRICS.inc(
+            "resilience.checkpoints.resumed", algorithm=algorithm
+        )
+    return snapshot
 
 
 def l1_delta(

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.errors import CheckpointError, ValidationError
 from repro.formats.base import SparseMatrix
 from repro.formats.coo import COOMatrix
 from repro.formats.csc import CSCMatrix
@@ -24,7 +24,9 @@ from repro.mining.power_method import (
     convergence_trace,
     finish_run,
     l1_delta,
+    resolve_checkpoint,
     resolve_engine,
+    resume_checkpoint,
 )
 from repro.mining.vector_kernels import axpy_cost, reduction_cost
 
@@ -59,6 +61,8 @@ def random_walk_with_restart(
     batched: bool = True,
     executor=None,
     n_shards: int | str | None = None,
+    checkpoint=None,
+    resume_from=None,
     **kernel_options,
 ) -> MiningResult:
     """Run RWR for each query node and average the simulated cost.
@@ -79,9 +83,21 @@ def random_walk_with_restart(
     ``executor``/``n_shards`` route each step's SpMV/SpMM through a
     :class:`~repro.exec.ShardedExecutor` built on the column-normalised
     operator; walks stay bit-identical to the single-shard run.
+
+    ``checkpoint``/``resume_from`` snapshot and restore the full batched
+    walk state (``R``/``frozen``/``active``/``iteration_counts`` plus
+    the query set — the checkpoint's queries *are* the resumed run's
+    queries); only the ``batched`` path supports them, the sequential
+    path raises :class:`ValidationError`.
     """
     if not 0 < restart < 1:
         raise ValidationError(f"restart must be in (0, 1), got {restart}")
+    if not batched and (checkpoint is not None or resume_from is not None):
+        raise ValidationError(
+            "checkpoint/resume_from require batched=True (the sequential "
+            "path interleaves per-query loops and has no single resumable "
+            "iteration state)"
+        )
     coo = adjacency.to_coo()
     operator = rwr_operator(coo)
     if isinstance(kernel, SpMVKernel):
@@ -89,6 +105,20 @@ def random_walk_with_restart(
     else:
         spmv = create(kernel, operator, device=device, **kernel_options)
     n = operator.n_rows
+    ckpt_config = resolve_checkpoint(checkpoint)
+    snapshot = resume_checkpoint(resume_from, "rwr", n=n, restart=restart)
+    if snapshot is not None:
+        resumed_queries = np.asarray(
+            snapshot.array("queries"), dtype=np.int64
+        )
+        if queries is not None and not np.array_equal(
+            np.asarray(queries, dtype=np.int64), resumed_queries
+        ):
+            raise CheckpointError(
+                "queries passed alongside resume_from do not match the "
+                "checkpoint's query set"
+            )
+        queries = resumed_queries
     rng = np.random.default_rng(seed)
     if queries is None:
         queries = rng.choice(n, size=min(n_queries, n), replace=False)
@@ -112,7 +142,8 @@ def random_walk_with_restart(
         trace.tick()
         if batched:
             iteration_counts, all_converged, r = _run_batched(
-                engine, queries, n, restart, tol, max_iter, trace
+                engine, queries, n, restart, tol, max_iter, trace,
+                ckpt_config=ckpt_config, snapshot=snapshot,
             )
         else:
             iteration_counts, all_converged, r = _run_sequential(
@@ -121,6 +152,15 @@ def random_walk_with_restart(
         shards_used = getattr(engine, "n_shards", 1)
     mean_iterations = float(np.mean(iteration_counts))
     total = per_iteration.scaled(mean_iterations).relabel(per_iteration.label)
+    extra = {
+        "restart": restart,
+        "queries": queries,
+        "per_query_iterations": iteration_counts,
+        "batched": batched,
+        "n_shards": shards_used,
+    }
+    if snapshot is not None:
+        extra["resume_iteration"] = snapshot.iteration
     return finish_run(trace, MiningResult(
         algorithm="rwr",
         kernel_name=spmv.name,
@@ -129,13 +169,7 @@ def random_walk_with_restart(
         converged=all_converged,
         per_iteration=per_iteration,
         total_cost=total,
-        extra={
-            "restart": restart,
-            "queries": queries,
-            "per_query_iterations": iteration_counts,
-            "batched": batched,
-            "n_shards": shards_used,
-        },
+        extra=extra,
     ))
 
 
@@ -186,6 +220,8 @@ def _run_batched(
     tol: float,
     max_iter: int,
     trace,
+    ckpt_config=None,
+    snapshot=None,
 ) -> tuple[list[int], bool, np.ndarray]:
     """All query walks in lock step, one SpMM per iteration.
 
@@ -193,20 +229,46 @@ def _run_batched(
     have stopped there) and thereafter only rides along in the batch;
     its extra multiplications cannot perturb the other columns because
     each SpMM column depends only on its own right-hand side.
+
+    The checkpoint state is everything the loop body reads across
+    iterations (``R``/``frozen``/``active``/``iteration_counts``);
+    ``E``/``base`` are pure functions of the queries, so resuming from
+    a snapshot replays the remaining iterations bitwise.
     """
     k = queries.size
     E = np.zeros((n, k))
     E[queries, np.arange(k)] = 1.0
     base = (1.0 - restart) * E
-    R = E.copy()
+    start_iteration = 0
+    if snapshot is None:
+        R = E.copy()
+        frozen = E.copy()
+        active = np.ones(k, dtype=bool)
+        iteration_counts = np.zeros(k, dtype=np.int64)
+    else:
+        R = np.array(snapshot.array("R"), dtype=np.float64)
+        frozen = np.array(snapshot.array("frozen"), dtype=np.float64)
+        active = np.array(snapshot.array("active"), dtype=bool)
+        iteration_counts = np.array(
+            snapshot.array("iteration_counts"), dtype=np.int64
+        )
+        for name, array, shape in (
+            ("R", R, (n, k)),
+            ("frozen", frozen, (n, k)),
+            ("active", active, (k,)),
+            ("iteration_counts", iteration_counts, (k,)),
+        ):
+            if array.shape != shape:
+                raise CheckpointError(
+                    f"checkpoint array {name!r} has shape {array.shape}, "
+                    f"expected {shape}"
+                )
+        start_iteration = snapshot.iteration
     R_new = np.empty((n, k))
-    frozen = E.copy()
     col_new = np.empty(n)
     col_old = np.empty(n)
     scratch = np.empty(n)
-    active = np.ones(k, dtype=bool)
-    iteration_counts = np.zeros(k, dtype=np.int64)
-    for iteration in range(1, max_iter + 1):
+    for iteration in range(start_iteration + 1, max_iter + 1):
         if not active.any():
             break
         spmv.spmm(R, out=R_new)
@@ -223,6 +285,21 @@ def _run_batched(
                 active[j] = False
                 frozen[:, j] = R_new[:, j]
         R, R_new = R_new, R
+        if ckpt_config is not None and ckpt_config.due(iteration):
+            from repro.resilience.checkpoint import Checkpoint
+
+            ckpt_config.save(Checkpoint(
+                algorithm="rwr",
+                iteration=iteration,
+                arrays={
+                    "R": R.copy(),
+                    "frozen": frozen.copy(),
+                    "active": active.copy(),
+                    "iteration_counts": iteration_counts.copy(),
+                    "queries": queries.copy(),
+                },
+                params={"n": n, "restart": restart, "tol": tol},
+            ))
     for j in np.nonzero(active)[0]:
         frozen[:, j] = R[:, j]
     all_converged = not active.any()

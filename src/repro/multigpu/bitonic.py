@@ -22,6 +22,7 @@ __all__ = [
     "bitonic_partition",
     "contiguous_partition",
     "partition_balance",
+    "repartition_after_failure",
 ]
 
 
@@ -44,6 +45,43 @@ def bitonic_partition(row_lengths: np.ndarray, n_parts: int) -> np.ndarray:
     assignment = np.empty(n, dtype=np.int64)
     assignment[order] = dealt
     return assignment
+
+
+def repartition_after_failure(
+    row_lengths: np.ndarray,
+    assignment: np.ndarray,
+    failed_part: int,
+    n_parts: int,
+) -> tuple[np.ndarray, int]:
+    """Re-run the serpentine deal over the survivors of a node failure.
+
+    Returns ``(new_assignment, moved_nnz)``: the bitonic assignment of
+    every row onto the ``n_parts - 1`` surviving parts (numbered
+    ``0..n_parts-2``), and the number of non-zeros whose owner changed —
+    the data that has to cross the network during recovery.  Survivor
+    part ``s`` in the old numbering corresponds to ``s`` if
+    ``s < failed_part`` else ``s - 1`` in the new numbering; rows that
+    keep their (renumbered) owner move nothing.
+    """
+    lengths = np.asarray(row_lengths)
+    old = np.asarray(assignment)
+    if n_parts < 2:
+        raise ValidationError(
+            "node failure needs n_parts >= 2 (no survivors otherwise)"
+        )
+    if not 0 <= failed_part < n_parts:
+        raise ValidationError(
+            f"failed_part must be in [0, {n_parts}), got {failed_part}"
+        )
+    if lengths.shape != old.shape:
+        raise ValidationError("lengths and assignment must align")
+    new_assignment = bitonic_partition(lengths, n_parts - 1)
+    # Old owners mapped onto the survivors' renumbering; the failed
+    # part maps nowhere, so all of its rows count as moved.
+    old_mapped = np.where(old > failed_part, old - 1, old)
+    moved = (old == failed_part) | (old_mapped != new_assignment)
+    moved_nnz = int(lengths[moved].sum())
+    return new_assignment, moved_nnz
 
 
 def contiguous_partition(n_rows: int, n_parts: int) -> np.ndarray:

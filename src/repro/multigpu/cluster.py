@@ -17,6 +17,7 @@ against nnz counts.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,7 +30,11 @@ from repro.kernels.base import SpMVKernel, create
 from repro.mining.pagerank import pagerank_operator
 from repro.mining.power_method import l1_delta
 from repro.mining.vector_kernels import axpy_cost, reduction_cost
-from repro.multigpu.bitonic import bitonic_partition, contiguous_partition
+from repro.multigpu.bitonic import (
+    bitonic_partition,
+    contiguous_partition,
+    repartition_after_failure,
+)
 from repro.multigpu.network import NetworkSpec, allgather_seconds
 from repro.obs import metrics as _metrics
 from repro.obs.trace import trace as _span
@@ -38,6 +43,7 @@ __all__ = [
     "ClusterSpec",
     "MultiGPUReport",
     "distributed_pagerank",
+    "recovery_cost_seconds",
     "simulate_spmv",
 ]
 
@@ -84,6 +90,21 @@ class MultiGPUReport:
     #: Mean measured per-shard host wall seconds per iteration, filled
     #: when the local compute also ran for real (``measure=True``).
     measured_shard_seconds: np.ndarray | None = None
+    #: Node-failure simulation results (``distributed_pagerank`` with
+    #: ``fail_node=``): which node died, when, what recovery cost.
+    failed_node: int | None = None
+    failed_at_iteration: int | None = None
+    #: Modeled redistribution time: the moved rows' COO triples crossing
+    #: the network to their new owners.
+    recovery_seconds: float = 0.0
+    #: Measured host wall time of the recovery (repartition + rebuild).
+    recovery_wall_seconds: float = 0.0
+    #: Non-zeros whose owner changed in the survivor repartition.
+    moved_nnz: int = 0
+    #: Per-survivor simulated SpMV reports after the failure.
+    post_failure_node_reports: list[CostReport] | None = None
+    #: Allgather time per iteration over the survivors.
+    post_failure_comm_seconds: float | None = None
 
     @property
     def compute_seconds(self) -> float:
@@ -113,8 +134,45 @@ class MultiGPUReport:
         return self.compute_seconds + self.comm_seconds + self.vector_seconds
 
     @property
+    def post_failure_compute_seconds(self) -> float | None:
+        """Slowest *survivor*'s kernel time; ``None`` without a failure."""
+        if not self.post_failure_node_reports:
+            return None
+        return max(r.time_seconds for r in self.post_failure_node_reports)
+
+    @property
+    def post_failure_iteration_seconds(self) -> float | None:
+        """Per-iteration time at the survivor configuration."""
+        compute = self.post_failure_compute_seconds
+        if compute is None:
+            return None
+        comm = (
+            self.comm_seconds
+            if self.post_failure_comm_seconds is None
+            else self.post_failure_comm_seconds
+        )
+        return compute + comm + self.vector_seconds
+
+    @property
     def total_seconds(self) -> float:
-        return self.iteration_seconds * self.iterations
+        """Modeled wall time of the whole run.
+
+        Without a failure this is ``iteration_seconds * iterations``.
+        With one, iterations before ``failed_at_iteration`` run at the
+        full-cluster rate, then the recovery redistribution is paid
+        once, and the remaining iterations (including the one the
+        failure interrupted) run at the survivor rate.
+        """
+        post = self.post_failure_iteration_seconds
+        if self.failed_at_iteration is None or post is None:
+            return self.iteration_seconds * self.iterations
+        pre_iters = min(self.failed_at_iteration - 1, self.iterations)
+        post_iters = max(self.iterations - pre_iters, 0)
+        return (
+            pre_iters * self.iteration_seconds
+            + self.recovery_seconds
+            + post_iters * post
+        )
 
     @property
     def gflops(self) -> float:
@@ -191,6 +249,42 @@ def _measure_local_spmv(
     return acc / repeats
 
 
+def _node_reports(
+    coo,
+    assignment: np.ndarray,
+    n_parts: int,
+    cluster: ClusterSpec,
+    kernel: str,
+    *,
+    check_memory: bool,
+    **kernel_options,
+) -> list[CostReport]:
+    """Build every node's local kernel and collect its simulated cost.
+
+    Raises :class:`DeviceMemoryError` when a node's slice exceeds the
+    per-GPU limit and ``check_memory`` is set.
+    """
+    node_reports: list[CostReport] = []
+    for node in range(n_parts):
+        local_rows = np.nonzero(assignment == node)[0]
+        local = coo.select_rows(local_rows)
+        if check_memory:
+            needed = required_device_bytes(
+                local.n_rows, local.n_cols, local.nnz
+            )
+            if needed > cluster.memory_limit:
+                raise DeviceMemoryError(
+                    f"node {node} needs {needed / 1e6:.1f} MB but the GPU "
+                    f"limit is {cluster.memory_limit / 1e6:.1f} MB; use "
+                    "more GPUs"
+                )
+        node_kernel = create(
+            kernel, local, device=cluster.device, **kernel_options
+        )
+        node_reports.append(node_kernel.cost())
+    return node_reports
+
+
 def simulate_spmv(
     matrix: SparseMatrix,
     cluster: ClusterSpec,
@@ -228,24 +322,10 @@ def simulate_spmv(
             f"unknown partition scheme {partition!r}; "
             "expected 'bitonic' or 'contiguous'"
         )
-    node_reports: list[CostReport] = []
-    for node in range(cluster.n_gpus):
-        local_rows = np.nonzero(assignment == node)[0]
-        local = coo.select_rows(local_rows)
-        if check_memory:
-            needed = required_device_bytes(
-                local.n_rows, local.n_cols, local.nnz
-            )
-            if needed > cluster.memory_limit:
-                raise DeviceMemoryError(
-                    f"node {node} needs {needed / 1e6:.1f} MB but the GPU "
-                    f"limit is {cluster.memory_limit / 1e6:.1f} MB; use "
-                    "more GPUs"
-                )
-        node_kernel = create(
-            kernel, local, device=cluster.device, **kernel_options
-        )
-        node_reports.append(node_kernel.cost())
+    node_reports = _node_reports(
+        coo, assignment, cluster.n_gpus, cluster, kernel,
+        check_memory=check_memory, **kernel_options,
+    )
     comm = allgather_seconds(
         4 * coo.n_rows, cluster.n_gpus, cluster.network
     )
@@ -289,6 +369,20 @@ def _report_measurement(measured: np.ndarray | None) -> None:
         )
 
 
+def recovery_cost_seconds(moved_nnz: int, network: NetworkSpec) -> float:
+    """Modeled redistribution time after a node failure.
+
+    The moved rows' COO triples (12 bytes each) cross the network once,
+    point to point, fully exposed — recovery happens while the iteration
+    is stalled, so no compute hides it.
+    """
+    if moved_nnz < 0:
+        raise ValidationError("moved_nnz must be non-negative")
+    if moved_nnz == 0:
+        return 0.0
+    return network.latency + 12 * moved_nnz / network.bandwidth
+
+
 def distributed_pagerank(
     adjacency: SparseMatrix,
     cluster: ClusterSpec,
@@ -300,6 +394,8 @@ def distributed_pagerank(
     check_memory: bool = True,
     measure: bool = False,
     measure_backend: str | None = None,
+    fail_node: int | None = None,
+    fail_at_iteration: int | None = None,
     **kernel_options,
 ) -> tuple[np.ndarray, MultiGPUReport]:
     """PageRank on the cluster: returns the converged vector and the
@@ -310,9 +406,38 @@ def distributed_pagerank(
     assignment — the iterates are bit-identical to the sequential
     recurrence, and ``report.measured_shard_seconds`` holds the mean
     per-shard wall time over the realised iterations.
+
+    ``fail_node`` simulates that node dropping out at the start of
+    iteration ``fail_at_iteration`` (default 1): the bitonic deal is
+    re-run over the survivors, the moved rows' redistribution cost is
+    modeled on the network spec, and the report carries the survivor
+    configuration (``post_failure_*`` fields, ``recovery_seconds``,
+    ``moved_nnz``).  Row partitioning is a pure data layout, so the
+    returned vector is **bit-identical** to the failure-free run.
     """
     coo = adjacency.to_coo()
     operator = pagerank_operator(coo)
+    if fail_node is None:
+        if fail_at_iteration is not None:
+            raise ValidationError(
+                "fail_at_iteration requires fail_node"
+            )
+    else:
+        if cluster.n_gpus < 2:
+            raise ValidationError(
+                "node-failure simulation needs n_gpus >= 2"
+            )
+        if not 0 <= fail_node < cluster.n_gpus:
+            raise ValidationError(
+                f"fail_node must be in [0, {cluster.n_gpus}), "
+                f"got {fail_node}"
+            )
+        if fail_at_iteration is None:
+            fail_at_iteration = 1
+        elif fail_at_iteration < 1:
+            raise ValidationError(
+                f"fail_at_iteration must be >= 1, got {fail_at_iteration}"
+            )
     report = simulate_spmv(
         operator,
         cluster,
@@ -325,24 +450,34 @@ def distributed_pagerank(
     # vector/iteration count come from the exact host recurrence —
     # run sequentially, or sharded when a measurement is requested.
     n = operator.n_rows
+    op_coo = operator.to_coo()
+    row_lengths = op_coo.row_lengths()
+    assignment = bitonic_partition(row_lengths, cluster.n_gpus)
     p0 = np.full(n, 1.0 / n)
     p = p0.copy()
     new_p = np.empty(n)
     scratch = np.empty(n)
     base = (1.0 - damping) * p0
     engine = None
+    n_shards = cluster.n_gpus
     measured = np.zeros(cluster.n_gpus)
-    if measure:
+    measured_post = np.zeros(max(cluster.n_gpus - 1, 1))
+    pre_iters = 0
+    post_iters = 0
+    failed = False
+
+    def _build_engine(shards: int, shard_assignment: np.ndarray):
         from repro.exec.sharded import ShardedExecutor
 
-        engine = ShardedExecutor(
+        return ShardedExecutor(
             operator,
-            cluster.n_gpus,
-            assignment=bitonic_partition(
-                operator.row_lengths(), cluster.n_gpus
-            ),
+            shards,
+            assignment=shard_assignment,
             backend=measure_backend,
         )
+
+    if measure:
+        engine = _build_engine(n_shards, assignment)
     iterations = 0
     try:
         with _span(
@@ -350,9 +485,54 @@ def distributed_pagerank(
             n_gpus=cluster.n_gpus, measure=measure,
         ) as span:
             for iterations in range(1, max_iter + 1):
+                if (
+                    fail_node is not None
+                    and not failed
+                    and iterations >= fail_at_iteration
+                ):
+                    failed = True
+                    wall = time.perf_counter()
+                    survivors = cluster.n_gpus - 1
+                    assignment, moved_nnz = repartition_after_failure(
+                        row_lengths, assignment, fail_node,
+                        cluster.n_gpus,
+                    )
+                    report.post_failure_node_reports = _node_reports(
+                        op_coo, assignment, survivors, cluster, kernel,
+                        check_memory=check_memory, **kernel_options,
+                    )
+                    report.post_failure_comm_seconds = allgather_seconds(
+                        4 * n, survivors, cluster.network
+                    )
+                    report.failed_node = fail_node
+                    report.failed_at_iteration = iterations
+                    report.moved_nnz = moved_nnz
+                    report.recovery_seconds = recovery_cost_seconds(
+                        moved_nnz, cluster.network
+                    )
+                    if engine is not None:
+                        engine.close()
+                        n_shards = survivors
+                        engine = _build_engine(n_shards, assignment)
+                    report.recovery_wall_seconds = (
+                        time.perf_counter() - wall
+                    )
+                    if _metrics._ENABLED:
+                        _metrics.METRICS.inc(
+                            "resilience.node_failures", node=fail_node
+                        )
+                        _metrics.METRICS.observe(
+                            "resilience.recovery.seconds",
+                            report.recovery_wall_seconds,
+                        )
                 if engine is not None:
                     engine.spmv(p, out=new_p)
-                    measured += engine.last_shard_seconds
+                    if failed:
+                        measured_post += engine.last_shard_seconds
+                        post_iters += 1
+                    else:
+                        measured += engine.last_shard_seconds
+                        pre_iters += 1
                 else:
                     operator.spmv(p, out=new_p)
                 np.multiply(new_p, damping, out=new_p)
@@ -363,11 +543,19 @@ def distributed_pagerank(
                     break
             if span is not None:
                 span["attrs"]["iterations"] = iterations
+                if failed:
+                    span["attrs"]["failed_node"] = fail_node
+                    span["attrs"]["moved_nnz"] = report.moved_nnz
     finally:
         if engine is not None:
             engine.close()
     if measure and iterations:
-        report.measured_shard_seconds = measured / iterations
+        # Report the configuration that ran the bulk of the iterations:
+        # the survivors after a failure, the full cluster otherwise.
+        if failed and post_iters:
+            report.measured_shard_seconds = measured_post / post_iters
+        elif pre_iters:
+            report.measured_shard_seconds = measured / pre_iters
         _report_measurement(report.measured_shard_seconds)
     device = cluster.device
     vector = (

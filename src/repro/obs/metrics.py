@@ -171,6 +171,18 @@ class Metrics:
                 if k == name or k.startswith(prefix)
             )
 
+    def counter_series(self, name: str) -> dict[str, float]:
+        """All counter series sharing ``name`` (any labels), keyed by
+        their full series key — the chaos report uses this to break
+        injected faults / retries / degradations out by site and shard."""
+        prefix = f"{name}{{"
+        with self._lock:
+            return {
+                k: v
+                for k, v in self._counters.items()
+                if k == name or k.startswith(prefix)
+            }
+
     def gauge(self, name: str, **labels) -> float | None:
         with self._lock:
             return self._gauges.get(self.key(name, labels))

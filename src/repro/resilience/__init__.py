@@ -1,0 +1,66 @@
+"""Fault injection, recovery, and checkpoint/resume (``repro.resilience``).
+
+Three cooperating pieces:
+
+* :mod:`repro.resilience.faults` — a seeded, deterministic
+  :class:`FaultInjector` armed via ``REPRO_FAULTS`` or :func:`arm`;
+  disarmed, the engine's hot paths test a single module boolean.
+* :mod:`repro.resilience.recovery` — the :class:`RetryPolicy` that the
+  ``ShardedExecutor`` uses for per-shard timeout, bounded retry with
+  exponential backoff, and degradation to serial re-execution.
+* :mod:`repro.resilience.checkpoint` — iteration snapshots for the
+  mining power loops with bitwise-identical resume.
+
+:func:`run_chaos` (the ``repro chaos`` CLI) exercises all of it and
+emits a JSON survival report.
+"""
+
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointConfig,
+    CheckpointStore,
+    load_checkpoint,
+    normalize_checkpoint,
+)
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultSpec,
+    INJECTOR,
+    arm,
+    armed,
+    configure_from_env,
+    disarm,
+    parse_fault_spec,
+)
+from repro.resilience.recovery import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointConfig",
+    "CheckpointStore",
+    "DEFAULT_RETRY_POLICY",
+    "FaultInjector",
+    "FaultSpec",
+    "INJECTOR",
+    "RetryPolicy",
+    "arm",
+    "armed",
+    "configure_from_env",
+    "disarm",
+    "load_checkpoint",
+    "normalize_checkpoint",
+    "parse_fault_spec",
+    "run_chaos",
+]
+
+
+def run_chaos(*args, **kwargs):
+    """Lazy wrapper for :func:`repro.resilience.chaos.run_chaos`.
+
+    The chaos harness imports the mining and multigpu layers, which in
+    turn import the exec engine — importing it eagerly here would cycle
+    (exec modules import ``repro.resilience.faults`` at module scope).
+    """
+    from repro.resilience.chaos import run_chaos as _run_chaos
+
+    return _run_chaos(*args, **kwargs)

@@ -1,0 +1,324 @@
+"""The ``repro chaos`` runner: an end-to-end survival drill.
+
+Arms the fault injector against a fixed-seed R-MAT workload and checks
+that every recovery path actually recovers:
+
+* sharded SpMV under each fault site/mode (errors, delays with a shard
+  timeout, silent output corruption) — results must be **bit-identical**
+  to the fault-free run,
+* the acceptance scenario: a pinned-iteration sharded PageRank with a
+  configurable shard-failure rate, bit-identical to the fault-free
+  trajectory with every retry/degradation visible in the metrics,
+* checkpoint/resume: a mid-run PageRank snapshot must replay the
+  uninterrupted tail bitwise,
+* node failure: ``distributed_pagerank`` drops a node mid-run,
+  repartitions the survivors and must still return the failure-free
+  vector.
+
+The report is JSON-ready; ``summary.all_survived`` is the one bit CI
+gates on.  Injector and metrics state are saved and restored, so the
+drill can run inside a larger instrumented process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs import metrics as _metrics
+from repro.resilience import faults as _faults
+from repro.resilience.faults import FaultSpec
+
+__all__ = ["run_chaos"]
+
+#: SpMV fault scenarios: every engine fault site, in every mode it
+#: supports.  ``delay`` rides a short per-shard timeout so the slow
+#: worker is detected and recomputed, not waited out.
+_SPMV_SCENARIOS = (
+    ("shard-task-error", FaultSpec("shard.task", "error", probability=0.5)),
+    ("backend-spmv-error",
+     FaultSpec("backend.spmv", "error", probability=0.5)),
+    ("shard-task-delay",
+     FaultSpec("shard.task", "delay", probability=0.3,
+               delay_seconds=0.05)),
+    ("backend-corrupt-nan",
+     FaultSpec("backend.corrupt", "corrupt", probability=0.5)),
+    ("shard-corrupt-inf",
+     FaultSpec("shard.corrupt", "corrupt", probability=0.5,
+               corrupt_value=float("inf"))),
+)
+
+
+def _save_state() -> dict:
+    injector = _faults.INJECTOR
+    return {
+        "armed": _faults.armed(),
+        "seed": injector.seed,
+        "specs": [injector.spec(site) for site in injector.sites],
+        "metrics_enabled": _metrics.enabled(),
+    }
+
+
+def _restore_state(state: dict) -> None:
+    _faults.INJECTOR.configure(*state["specs"], seed=state["seed"])
+    if state["armed"]:
+        _faults.arm()
+    else:
+        _faults.disarm()
+    if not state["metrics_enabled"]:
+        _metrics.disable()
+
+
+def _resilience_counters() -> dict:
+    registry = _metrics.METRICS
+    return {
+        "injected": registry.counter_total("resilience.faults.injected"),
+        "retries": registry.counter_total("resilience.retries"),
+        "failures": registry.counter_total("resilience.shard.failures"),
+        "timeouts": registry.counter_total("resilience.timeouts"),
+        "degraded": registry.counter_total("resilience.degraded"),
+        "corruption_detected": registry.counter_total(
+            "resilience.corruption.detected"
+        ),
+    }
+
+
+def _spmv_scenario(
+    name: str,
+    spec: FaultSpec,
+    operator,
+    x: np.ndarray,
+    reference: np.ndarray,
+    *,
+    n_shards: int,
+    calls: int,
+    seed: int,
+) -> dict:
+    """Run ``calls`` sharded SpMVs under one fault spec; verify each."""
+    from repro.exec.sharded import ShardedExecutor
+    from repro.resilience.recovery import RetryPolicy
+
+    _metrics.METRICS.reset()
+    _faults.INJECTOR.configure(spec, seed=seed)
+    _faults.arm()
+    # Delay faults only matter if someone is watching the clock.
+    timeout = 0.01 if spec.mode == "delay" else None
+    retry = RetryPolicy(timeout_seconds=timeout)
+    out = np.empty(operator.n_rows)
+    identical = True
+    error = None
+    try:
+        with ShardedExecutor(operator, n_shards, retry=retry) as engine:
+            for _ in range(calls):
+                engine.spmv(x, out=out)
+                identical &= bool(np.array_equal(out, reference))
+            stats = engine.resilience_stats
+    except Exception as exc:  # noqa: BLE001 — survival is the verdict
+        identical = False
+        error = f"{type(exc).__name__}: {exc}"
+        stats = {}
+    finally:
+        _faults.disarm()
+        _faults.INJECTOR.clear()
+    counters = _resilience_counters()
+    report = {
+        "name": name,
+        "fault": spec.describe(),
+        "n_shards": n_shards,
+        "calls": calls,
+        "bit_identical": identical,
+        "survived": identical and error is None,
+        "engine_stats": stats,
+        "metrics": counters,
+    }
+    if error is not None:
+        report["error"] = error
+    return report
+
+
+def _acceptance_scenario(
+    graph,
+    *,
+    iterations: int,
+    failure_rate: float,
+    n_shards: int,
+    seed: int,
+) -> dict:
+    """Pinned-iteration sharded PageRank under shard failures.
+
+    ``tol=0.0`` pins the loop to exactly ``iterations`` iterations
+    (no residual is ever below zero), so the fault-free and faulted
+    trajectories cover the same work and must match bitwise.
+    """
+    from repro.mining.pagerank import pagerank
+
+    reference = pagerank(
+        graph, kernel="cpu-csr", tol=0.0, max_iter=iterations,
+        n_shards=n_shards,
+    )
+    _metrics.METRICS.reset()
+    _faults.INJECTOR.configure(
+        FaultSpec("shard.task", "error", probability=failure_rate),
+        seed=seed,
+    )
+    _faults.arm()
+    try:
+        faulted = pagerank(
+            graph, kernel="cpu-csr", tol=0.0, max_iter=iterations,
+            n_shards=n_shards,
+        )
+    finally:
+        injected = _faults.INJECTOR.injected()
+        _faults.disarm()
+        _faults.INJECTOR.clear()
+    identical = bool(np.array_equal(reference.vector, faulted.vector))
+    counters = _resilience_counters()
+    return {
+        "name": "pagerank-shard-failures",
+        "failure_rate": failure_rate,
+        "iterations": iterations,
+        "n_shards": n_shards,
+        "bit_identical": identical,
+        "injected": injected,
+        "survived": identical and injected > 0,
+        "metrics": counters,
+    }
+
+
+def _checkpoint_scenario(graph, *, iterations: int) -> dict:
+    """Resume a mid-run PageRank checkpoint; the tail must replay
+    bitwise."""
+    from repro.mining.pagerank import pagerank
+    from repro.resilience.checkpoint import CheckpointConfig
+
+    config = CheckpointConfig(every=1)
+    full = pagerank(
+        graph, kernel="cpu-csr", tol=0.0, max_iter=iterations,
+        checkpoint=config,
+    )
+    mid = max(iterations // 2, 1)
+    resumed = pagerank(
+        graph, kernel="cpu-csr", tol=0.0, max_iter=iterations,
+        resume_from=config.store.at(mid),
+    )
+    identical = bool(np.array_equal(full.vector, resumed.vector))
+    return {
+        "name": "pagerank-checkpoint-resume",
+        "iterations": iterations,
+        "resumed_at": mid,
+        "checkpoints_taken": len(config.store),
+        "bit_identical": identical,
+        "survived": identical,
+    }
+
+
+def _node_failure_scenario(graph, *, iterations: int) -> dict:
+    """Drop a cluster node mid-run; the survivors must finish the
+    failure-free vector."""
+    from repro.multigpu.cluster import ClusterSpec, distributed_pagerank
+
+    cluster = ClusterSpec(4)
+    reference, _ = distributed_pagerank(
+        graph, cluster, tol=0.0, max_iter=iterations,
+    )
+    mid = max(iterations // 2, 1)
+    vector, report = distributed_pagerank(
+        graph, cluster, tol=0.0, max_iter=iterations,
+        fail_node=1, fail_at_iteration=mid,
+    )
+    identical = bool(np.array_equal(reference, vector))
+    return {
+        "name": "distributed-pagerank-node-failure",
+        "n_gpus": cluster.n_gpus,
+        "failed_node": report.failed_node,
+        "failed_at_iteration": report.failed_at_iteration,
+        "moved_nnz": report.moved_nnz,
+        "recovery_seconds": report.recovery_seconds,
+        "recovery_wall_seconds": report.recovery_wall_seconds,
+        "total_seconds": report.total_seconds,
+        "bit_identical": identical,
+        "survived": identical and report.failed_at_iteration == mid,
+    }
+
+
+def run_chaos(
+    *,
+    n_nodes: int = 1024,
+    n_edges: int = 8192,
+    seed: int = 7,
+    iterations: int = 100,
+    failure_rate: float = 0.2,
+    n_shards: int = 4,
+    spmv_calls: int = 20,
+    quick: bool = False,
+) -> dict:
+    """Run the chaos drill and return the JSON-ready survival report.
+
+    ``quick`` shrinks the graph and iteration budget to smoke-test
+    scale.  ``failure_rate`` is the per-attempt shard failure
+    probability of the acceptance scenario.
+    """
+    from repro.graphs.rmat import rmat_graph
+    from repro.mining.pagerank import pagerank_operator
+
+    if quick:
+        n_nodes = min(n_nodes, 256)
+        n_edges = min(n_edges, 2048)
+        iterations = min(iterations, 20)
+        spmv_calls = min(spmv_calls, 8)
+
+    state = _save_state()
+    _faults.disarm()
+    _metrics.enable()
+    _metrics.METRICS.reset()
+    try:
+        graph = rmat_graph(n_nodes, n_edges, seed=seed)
+        operator = pagerank_operator(graph.to_coo())
+        x = np.random.default_rng(seed).random(operator.n_cols)
+        # Fault-free reference on the exact engine the scenarios use.
+        from repro.exec.sharded import ShardedExecutor
+
+        reference = np.empty(operator.n_rows)
+        with ShardedExecutor(operator, n_shards) as engine:
+            engine.spmv(x, out=reference)
+
+        scenarios = [
+            _spmv_scenario(
+                name, spec, operator, x, reference,
+                n_shards=n_shards, calls=spmv_calls, seed=seed,
+            )
+            for name, spec in _SPMV_SCENARIOS
+        ]
+        scenarios.append(_acceptance_scenario(
+            graph,
+            iterations=iterations,
+            failure_rate=failure_rate,
+            n_shards=n_shards,
+            seed=seed,
+        ))
+        scenarios.append(_checkpoint_scenario(graph, iterations=iterations))
+        scenarios.append(_node_failure_scenario(
+            graph, iterations=min(iterations, 30)
+        ))
+
+        survived = sum(1 for s in scenarios if s["survived"])
+        return {
+            "config": {
+                "n_nodes": n_nodes,
+                "n_edges": n_edges,
+                "nnz": graph.nnz,
+                "seed": seed,
+                "iterations": iterations,
+                "failure_rate": failure_rate,
+                "n_shards": n_shards,
+                "spmv_calls": spmv_calls,
+                "quick": quick,
+            },
+            "scenarios": scenarios,
+            "summary": {
+                "scenarios": len(scenarios),
+                "survived": survived,
+                "all_survived": survived == len(scenarios),
+            },
+        }
+    finally:
+        _restore_state(state)

@@ -1,0 +1,246 @@
+"""Checkpoint/resume for the mining power loops.
+
+A :class:`Checkpoint` is the *complete* iteration state of one power
+method (PageRank: the iterate ``p``; HITS: the stacked ``v``; batched
+RWR: ``R``/``frozen``/``active``/``iteration_counts``/``queries``) at
+the end of iteration ``iteration``.  Because every loop is a pure
+function of that state and the matrix, resuming from a checkpoint taken
+at iteration *k* replays iterations *k+1..N* bitwise identically to the
+uninterrupted run — same backend, same plans, same reduction order.
+The golden tests assert exactly that, at k in {1, mid, last-1}.
+
+Snapshots live in an in-memory :class:`CheckpointStore` and, when
+``CheckpointConfig.path`` is set, in a single ``.npz`` file written
+atomically (tmp + ``os.replace``) so a crash mid-write never truncates
+the latest good checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CheckpointError, ValidationError
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointConfig",
+    "CheckpointStore",
+    "load_checkpoint",
+    "normalize_checkpoint",
+]
+
+_META_KEY = "__repro_checkpoint__"
+
+
+def _jsonable(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One immutable mining-iteration snapshot."""
+
+    algorithm: str
+    iteration: int
+    arrays: dict[str, np.ndarray]
+    params: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.algorithm:
+            raise ValidationError("checkpoint algorithm must be non-empty")
+        if self.iteration < 0:
+            raise ValidationError("checkpoint iteration must be >= 0")
+        if not self.arrays:
+            raise ValidationError("checkpoint must carry at least one array")
+        for name, array in self.arrays.items():
+            if not isinstance(array, np.ndarray):
+                raise ValidationError(
+                    f"checkpoint array {name!r} must be an ndarray"
+                )
+            if array.dtype.kind == "f" and not np.isfinite(array).all():
+                raise CheckpointError(
+                    f"checkpoint array {name!r} contains non-finite values"
+                )
+
+    def array(self, name: str) -> np.ndarray:
+        try:
+            return self.arrays[name]
+        except KeyError as exc:
+            raise CheckpointError(
+                f"checkpoint for {self.algorithm!r} is missing array {name!r}"
+            ) from exc
+
+    def require(self, algorithm: str, **params) -> None:
+        """Fail loudly when this checkpoint cannot resume that run."""
+        if self.algorithm != algorithm:
+            raise CheckpointError(
+                f"checkpoint is for {self.algorithm!r}, cannot resume "
+                f"{algorithm!r}"
+            )
+        for key, want in params.items():
+            have = self.params.get(key)
+            if have != want:
+                raise CheckpointError(
+                    f"checkpoint parameter {key!r} mismatch: "
+                    f"checkpoint has {have!r}, run has {want!r}"
+                )
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write an ``.npz`` snapshot atomically."""
+        path = os.fspath(path)
+        meta = json.dumps(
+            {
+                "algorithm": self.algorithm,
+                "iteration": int(self.iteration),
+                "params": {k: _jsonable(v) for k, v in self.params.items()},
+            }
+        )
+        directory = os.path.dirname(path) or "."
+        fd, tmp = tempfile.mkstemp(
+            prefix=".ckpt-", suffix=".npz", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(
+                    handle,
+                    **{_META_KEY: np.frombuffer(meta.encode(), dtype=np.uint8)},
+                    **self.arrays,
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Checkpoint":
+        path = os.fspath(path)
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                if _META_KEY not in payload:
+                    raise CheckpointError(
+                        f"{path} is not a repro checkpoint (missing metadata)"
+                    )
+                meta = json.loads(bytes(payload[_META_KEY]).decode())
+                arrays = {
+                    name: payload[name]
+                    for name in payload.files
+                    if name != _META_KEY
+                }
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"cannot load checkpoint {path}: {exc}") from exc
+        return cls(
+            algorithm=meta["algorithm"],
+            iteration=int(meta["iteration"]),
+            arrays=arrays,
+            params=meta.get("params", {}),
+        )
+
+
+class CheckpointStore:
+    """Thread-safe, append-only in-memory checkpoint history."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._checkpoints: list[Checkpoint] = []
+
+    def add(self, checkpoint: Checkpoint) -> None:
+        if not isinstance(checkpoint, Checkpoint):
+            raise ValidationError("store accepts Checkpoint instances only")
+        with self._lock:
+            self._checkpoints.append(checkpoint)
+
+    def latest(self) -> Checkpoint | None:
+        with self._lock:
+            return self._checkpoints[-1] if self._checkpoints else None
+
+    def at(self, iteration: int) -> Checkpoint:
+        with self._lock:
+            for checkpoint in reversed(self._checkpoints):
+                if checkpoint.iteration == iteration:
+                    return checkpoint
+        raise CheckpointError(f"no checkpoint recorded at iteration {iteration}")
+
+    @property
+    def iterations(self) -> tuple[int, ...]:
+        with self._lock:
+            return tuple(c.iteration for c in self._checkpoints)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._checkpoints)
+
+    def __iter__(self):
+        with self._lock:
+            return iter(list(self._checkpoints))
+
+
+@dataclass
+class CheckpointConfig:
+    """How often to snapshot, where to keep snapshots.
+
+    ``every`` is the iteration period; ``store`` collects every snapshot
+    in memory; ``path`` (optional) additionally persists the *latest*
+    snapshot as an ``.npz``.
+    """
+
+    every: int = 10
+    store: CheckpointStore = field(default_factory=CheckpointStore)
+    path: str | os.PathLike | None = None
+
+    def __post_init__(self) -> None:
+        if int(self.every) < 1:
+            raise ValidationError("checkpoint period `every` must be >= 1")
+        self.every = int(self.every)
+
+    def due(self, iteration: int) -> bool:
+        return iteration % self.every == 0
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        self.store.add(checkpoint)
+        if self.path is not None:
+            checkpoint.save(self.path)
+        if _metrics._ENABLED:
+            _metrics.METRICS.inc(
+                "resilience.checkpoints.saved", algorithm=checkpoint.algorithm
+            )
+
+
+def normalize_checkpoint(checkpoint) -> CheckpointConfig | None:
+    """Accept ``None`` | period int | :class:`CheckpointConfig`."""
+    if checkpoint is None:
+        return None
+    if isinstance(checkpoint, CheckpointConfig):
+        return checkpoint
+    if isinstance(checkpoint, int) and not isinstance(checkpoint, bool):
+        return CheckpointConfig(every=checkpoint)
+    raise ValidationError(
+        "checkpoint must be None, an iteration period (int), or a "
+        f"CheckpointConfig; got {type(checkpoint)!r}"
+    )
+
+
+def load_checkpoint(source) -> Checkpoint:
+    """Accept a :class:`Checkpoint` or a path to a saved ``.npz``."""
+    if isinstance(source, Checkpoint):
+        return source
+    if isinstance(source, (str, os.PathLike)):
+        return Checkpoint.load(source)
+    raise ValidationError(
+        f"resume_from must be a Checkpoint or a path, got {type(source)!r}"
+    )

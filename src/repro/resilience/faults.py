@@ -1,0 +1,344 @@
+"""Seeded, deterministic fault injection for the SpMV engine.
+
+The injector is the chaos half of ``repro.resilience``: it decides —
+deterministically, from a seeded per-site RNG stream — whether a given
+*fault site* fires on a given call, and with which mode:
+
+* ``error``   — raise :class:`~repro.errors.InjectedFault`,
+* ``delay``   — sleep for ``delay_seconds`` (a simulated slow worker,
+  which the executor's per-shard timeout turns into a timeout event),
+* ``corrupt`` — overwrite one deterministic element of an output array
+  with NaN/Inf (silent data corruption, caught by output validation).
+
+Sites are plain dotted strings; the engine currently fires:
+
+* ``backend.build``  — :func:`repro.exec.backends.build_plan`
+* ``backend.spmv`` / ``backend.spmm`` — :meth:`SpMVPlan.execute` /
+  :meth:`SpMVPlan.execute_many`, and each sharded attempt
+* ``backend.corrupt`` / ``shard.corrupt`` — output corruption after a
+  backend call / a sharded attempt
+* ``shard.task``     — a ``ShardedExecutor`` shard attempt
+
+Arming follows the observability pattern (`repro.obs.metrics`): hot
+paths test one module-global boolean, ``_ARMED``, so with faults
+disarmed the steady state stays zero-allocation and branch-cheap.
+``REPRO_FAULTS`` arms at import time — either a truthy value (armed,
+no specs: a no-op until specs are configured) or a comma-separated
+list of ``site:mode[:probability]`` specs; ``REPRO_FAULTS_SEED`` seeds
+the decision streams.
+
+Determinism argument: each site draws from its own ``Generator`` seeded
+by ``(seed, crc32(site))``, so the fire/no-fire sequence per site is a
+pure function of the seed and the call ordinal at that site — it does
+not depend on thread scheduling across sites.  Within one site the
+executor serialises draws under the injector lock; attempts at a given
+site therefore see a reproducible decision sequence whenever the call
+order at that site is itself deterministic (the chaos matrix uses
+probability 1.0 or single-threaded call sites when it asserts exact
+counts).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InjectedFault, ValidationError
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "INJECTOR",
+    "arm",
+    "armed",
+    "configure_from_env",
+    "disarm",
+    "parse_fault_spec",
+]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+MODES = ("error", "delay", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault site's configuration.
+
+    ``probability`` is the per-call fire chance in [0, 1]; ``max_fires``
+    caps the total number of fires (None = unbounded).  ``delay_seconds``
+    applies to ``delay`` mode, ``corrupt_value`` to ``corrupt`` mode.
+    """
+
+    site: str
+    mode: str = "error"
+    probability: float = 1.0
+    max_fires: int | None = None
+    delay_seconds: float = 0.002
+    corrupt_value: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if not self.site or not isinstance(self.site, str):
+            raise ValidationError("fault site must be a non-empty string")
+        if self.mode not in MODES:
+            raise ValidationError(
+                f"unknown fault mode {self.mode!r}; expected one of {MODES}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValidationError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ValidationError("max_fires must be >= 0")
+        if self.delay_seconds < 0:
+            raise ValidationError("delay_seconds must be >= 0")
+
+    def describe(self) -> dict:
+        return {
+            "site": self.site,
+            "mode": self.mode,
+            "probability": self.probability,
+            "max_fires": self.max_fires,
+        }
+
+
+class FaultInjector:
+    """Deterministic, thread-safe fault decision engine.
+
+    One global instance (:data:`INJECTOR`) backs the whole engine; tests
+    may build private instances.  All decision state is guarded by one
+    lock; sleeping and raising happen outside it.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._specs: dict[str, FaultSpec] = {}
+        self._streams: dict[str, np.random.Generator] = {}
+        self._fires: dict[str, int] = {}
+        self._calls: dict[str, int] = {}
+        self._local = threading.local()
+
+    # -- configuration -------------------------------------------------
+
+    def configure(self, *specs: FaultSpec, seed: int | None = None) -> None:
+        """Replace all specs (and optionally the seed); reset counters."""
+        for spec in specs:
+            if not isinstance(spec, FaultSpec):
+                raise ValidationError(f"expected FaultSpec, got {type(spec)!r}")
+        with self._lock:
+            if seed is not None:
+                self.seed = int(seed)
+            self._specs = {spec.site: spec for spec in specs}
+            self._streams.clear()
+            self._fires.clear()
+            self._calls.clear()
+
+    def clear(self) -> None:
+        self.configure()
+
+    def reset(self, seed: int | None = None) -> None:
+        """Reset decision streams and counters, keeping the specs."""
+        with self._lock:
+            if seed is not None:
+                self.seed = int(seed)
+            self._streams.clear()
+            self._fires.clear()
+            self._calls.clear()
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._specs)
+
+    def spec(self, site: str) -> FaultSpec | None:
+        with self._lock:
+            return self._specs.get(site)
+
+    # -- suppression ---------------------------------------------------
+
+    @contextmanager
+    def suppressed(self):
+        """No faults fire in this thread inside the context.
+
+        Degraded serial re-execution runs under suppression: the
+        fallback must be fault-free, which is what makes recovery
+        terminate and stay bit-identical.
+        """
+        depth = getattr(self._local, "depth", 0)
+        self._local.depth = depth + 1
+        try:
+            yield
+        finally:
+            self._local.depth = depth
+
+    def _suppressed(self) -> bool:
+        return getattr(self._local, "depth", 0) > 0
+
+    # -- decision core -------------------------------------------------
+
+    def _stream(self, site: str) -> np.random.Generator:
+        stream = self._streams.get(site)
+        if stream is None:
+            stream = np.random.default_rng(
+                (self.seed, zlib.crc32(site.encode("utf-8")))
+            )
+            self._streams[site] = stream
+        return stream
+
+    def _decide(self, site: str, spec: FaultSpec) -> bool:
+        """Caller holds the lock.  One deterministic draw per call."""
+        self._calls[site] = self._calls.get(site, 0) + 1
+        if spec.max_fires is not None and self._fires.get(site, 0) >= spec.max_fires:
+            return False
+        if spec.probability >= 1.0:
+            fire = True
+        elif spec.probability <= 0.0:
+            fire = False
+        else:
+            fire = self._stream(site).random() < spec.probability
+        if fire:
+            self._fires[site] = self._fires.get(site, 0) + 1
+        return fire
+
+    # -- firing --------------------------------------------------------
+
+    def fire(self, site: str, **context) -> bool:
+        """Fire an ``error``/``delay`` site; returns True when it fired.
+
+        ``error`` raises :class:`InjectedFault`; ``delay`` sleeps.  A
+        ``corrupt`` spec at this site never fires here (see
+        :meth:`corrupt`).
+        """
+        if self._suppressed():
+            return False
+        with self._lock:
+            spec = self._specs.get(site)
+            if spec is None or spec.mode == "corrupt":
+                return False
+            if not self._decide(site, spec):
+                return False
+        self._record(site, spec.mode)
+        if spec.mode == "delay":
+            time.sleep(spec.delay_seconds)
+            return True
+        raise InjectedFault(
+            f"injected fault at {site}"
+            + (f" ({context})" if context else "")
+        )
+
+    def corrupt(self, site: str, array: np.ndarray, **context) -> bool:
+        """Fire a ``corrupt`` site: poison one element of ``array``."""
+        if self._suppressed():
+            return False
+        with self._lock:
+            spec = self._specs.get(site)
+            if spec is None or spec.mode != "corrupt":
+                return False
+            if array.size == 0 or not self._decide(site, spec):
+                return False
+            index = int(self._stream(site).integers(array.size))
+        array.reshape(-1)[index] = spec.corrupt_value
+        self._record(site, "corrupt")
+        return True
+
+    def _record(self, site: str, mode: str) -> None:
+        if _metrics._ENABLED:
+            _metrics.METRICS.inc(
+                "resilience.faults.injected", site=site, mode=mode
+            )
+
+    # -- accounting ----------------------------------------------------
+
+    def injected(self, site: str | None = None) -> int:
+        """Total fired faults (optionally for one site)."""
+        with self._lock:
+            if site is not None:
+                return self._fires.get(site, 0)
+            return sum(self._fires.values())
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "specs": [spec.describe() for spec in self._specs.values()],
+                "fires": dict(self._fires),
+                "calls": dict(self._calls),
+            }
+
+
+INJECTOR = FaultInjector()
+
+# Hot paths read this one module-global boolean (the `repro.obs.metrics`
+# pattern): `if _faults._ARMED:` — nothing else runs while disarmed.
+_ARMED = False
+
+
+def armed() -> bool:
+    return _ARMED
+
+
+def arm() -> None:
+    """Arm fault injection (specs come from :data:`INJECTOR`)."""
+    global _ARMED
+    _ARMED = True
+
+
+def disarm() -> None:
+    global _ARMED
+    _ARMED = False
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse one ``site:mode[:probability]`` env spec."""
+    parts = [p.strip() for p in text.split(":")]
+    if len(parts) < 2 or len(parts) > 3 or not all(parts[:2]):
+        raise ValidationError(
+            f"malformed REPRO_FAULTS spec {text!r}; "
+            "expected site:mode[:probability]"
+        )
+    probability = 1.0
+    if len(parts) == 3:
+        try:
+            probability = float(parts[2])
+        except ValueError as exc:
+            raise ValidationError(
+                f"malformed REPRO_FAULTS probability in {text!r}"
+            ) from exc
+    return FaultSpec(site=parts[0], mode=parts[1], probability=probability)
+
+
+def configure_from_env() -> bool:
+    """Arm from ``REPRO_FAULTS`` / ``REPRO_FAULTS_SEED``; True if armed.
+
+    A truthy value arms with no specs (tests then configure the
+    injector explicitly); otherwise the value is a comma-separated list
+    of ``site:mode[:probability]`` specs.  Malformed values fail loudly.
+    """
+    raw = os.environ.get("REPRO_FAULTS", "").strip()
+    if not raw:
+        return False
+    seed_raw = os.environ.get("REPRO_FAULTS_SEED", "0").strip()
+    try:
+        seed = int(seed_raw)
+    except ValueError as exc:
+        raise ValidationError(
+            f"malformed REPRO_FAULTS_SEED {seed_raw!r}; expected an integer"
+        ) from exc
+    if raw.lower() in _TRUTHY:
+        INJECTOR.configure(seed=seed)
+    else:
+        specs = [parse_fault_spec(p) for p in raw.split(",") if p.strip()]
+        INJECTOR.configure(*specs, seed=seed)
+    arm()
+    return True
+
+
+configure_from_env()

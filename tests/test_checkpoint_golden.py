@@ -1,0 +1,167 @@
+"""Checkpoint/resume golden tests (ISSUE 4 satellite c).
+
+The pinned workload of ``test_convergence_golden`` runs once per
+algorithm with a checkpoint taken every iteration; each test then
+resumes from iterations {1, mid, last-1} and demands that
+
+* the resumed run's convergence-trace records equal the uninterrupted
+  run's tail **bitwise** (every column except machine-dependent
+  ``seconds``), i.e. concatenating ``full[:k]`` with the resumed trace
+  reproduces the uninterrupted trajectory exactly, and
+* the final vector is ``np.array_equal`` to the uninterrupted one, and
+* the uninterrupted run still matches the pinned golden trajectory —
+  taking checkpoints must not perturb the iterates.
+
+"last-1" is the latest checkpoint that leaves work to replay: resuming
+*at* the converged iteration would run one extra step past the pinned
+trajectory.
+"""
+
+import functools
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.graphs.rmat import rmat_graph
+from repro.mining.hits import hits
+from repro.mining.pagerank import pagerank
+from repro.mining.rwr import random_walk_with_restart
+from repro.obs import metrics as metrics_mod
+from repro.resilience import CheckpointConfig
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+ALGORITHMS = ["pagerank", "hits", "rwr"]
+
+
+def _graph():
+    return rmat_graph(128, 1024, seed=13)
+
+
+def _run(algorithm, **kwargs):
+    graph = _graph()
+    prior = metrics_mod.enabled()
+    metrics_mod.enable()
+    try:
+        if algorithm == "pagerank":
+            return pagerank(
+                graph, kernel="cpu-csr", tol=1e-8, max_iter=200, **kwargs
+            )
+        if algorithm == "hits":
+            return hits(
+                graph, kernel="cpu-csr", tol=1e-8, max_iter=200, **kwargs
+            )
+        return random_walk_with_restart(
+            graph, kernel="cpu-csr", tol=1e-8, max_iter=200,
+            n_queries=3, seed=13, **kwargs
+        )
+    finally:
+        if not prior:
+            metrics_mod.disable()
+
+
+@functools.lru_cache(maxsize=1)
+def full_runs():
+    """One checkpointed, uninterrupted run per algorithm."""
+    out = {}
+    for algorithm in ALGORITHMS:
+        config = CheckpointConfig(every=1)
+        result = _run(algorithm, checkpoint=config)
+        out[algorithm] = (result, config)
+    return out
+
+
+def records_of(result) -> list[dict]:
+    """Trace records minus the machine-dependent wall column."""
+    return [
+        {k: v for k, v in record.items() if k != "seconds"}
+        for record in result.convergence["records"]
+    ]
+
+
+def loop_iterations(result) -> int:
+    """Length of the batched iteration loop — for rwr this differs from
+    ``result.iterations`` (the rounded per-query mean)."""
+    return int(max(r["iteration"] for r in records_of(result)))
+
+
+def resume_points(result) -> list[int]:
+    last = loop_iterations(result)
+    mid = max(last // 2, 1)
+    return sorted({1, mid, last - 1})
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_checkpointing_does_not_perturb_the_golden_trajectory(algorithm):
+    """The checkpointed run IS the pinned run of tests/golden/."""
+    golden = json.loads((GOLDEN_DIR / f"{algorithm}.json").read_text())
+    result, config = full_runs()[algorithm]
+    assert result.iterations == golden["iterations"]
+    assert result.converged == golden["converged"]
+    actual = records_of(result)
+    assert len(actual) == len(golden["records"])
+    residuals = np.array([r["residual"] for r in actual])
+    want = np.array([r["residual"] for r in golden["records"]])
+    np.testing.assert_allclose(residuals, want, rtol=1e-6, atol=1e-12)
+    # One checkpoint per loop iteration, each restorable.
+    assert len(config.store) == loop_iterations(result)
+    assert config.store.latest().iteration == loop_iterations(result)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_resume_replays_the_tail_bitwise(algorithm):
+    result, config = full_runs()[algorithm]
+    full_records = records_of(result)
+    for k in resume_points(result):
+        resumed = _run(algorithm, resume_from=config.store.at(k))
+        assert np.array_equal(resumed.vector, result.vector), (
+            f"{algorithm} resumed at {k}: vector diverged"
+        )
+        assert resumed.iterations == result.iterations
+        assert resumed.converged == result.converged
+        assert resumed.extra["resume_iteration"] == k
+        tail = [r for r in full_records if r["iteration"] > k]
+        assert records_of(resumed) == tail, (
+            f"{algorithm} resumed at {k}: trace tail is not bitwise "
+            "identical"
+        )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_resume_from_npz_file_is_equivalent(algorithm, tmp_path):
+    """Disk round-trip: resuming from the saved ``.npz`` matches
+    resuming from the in-memory checkpoint."""
+    result, config = full_runs()[algorithm]
+    k = max(loop_iterations(result) // 2, 1)
+    snapshot = config.store.at(k)
+    path = tmp_path / f"{algorithm}-{k}.npz"
+    snapshot.save(path)
+    resumed = _run(algorithm, resume_from=path)
+    assert np.array_equal(resumed.vector, result.vector)
+    assert records_of(resumed) == [
+        r for r in records_of(result) if r["iteration"] > k
+    ]
+
+
+def test_rwr_resume_restores_the_query_set():
+    """The checkpoint's query set IS the resumed run's query set; a
+    conflicting explicit set is refused."""
+    from repro.errors import CheckpointError
+
+    result, config = full_runs()["rwr"]
+    k = max(loop_iterations(result) // 2, 1)
+    snapshot = config.store.at(k)
+    resumed = _run("rwr", resume_from=snapshot)
+    assert np.array_equal(
+        resumed.extra["queries"], result.extra["queries"]
+    )
+    assert resumed.extra["per_query_iterations"] == (
+        result.extra["per_query_iterations"]
+    )
+    graph = _graph()
+    with pytest.raises(CheckpointError):
+        random_walk_with_restart(
+            graph, kernel="cpu-csr", resume_from=snapshot,
+            queries=np.array([0, 1, 2, 3]),
+        )

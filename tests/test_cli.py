@@ -121,3 +121,28 @@ class TestInfo:
         code, out, _ = run(capsys, "info", "circuit", "--scale", "20")
         assert code == 0
         assert "False" in out
+
+
+class TestChaos:
+    def test_quick_run_writes_report_and_exits_zero(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "chaos.json"
+        code, out, _ = run(
+            capsys, "chaos", "--quick", "--out", str(out_path)
+        )
+        assert code == 0
+        assert "scenarios survived" in out
+        report = json.loads(out_path.read_text())
+        assert report["summary"]["all_survived"] is True
+        assert report["summary"]["survived"] == report["summary"]["scenarios"]
+        assert report["config"]["quick"] is True
+        names = {s["name"] for s in report["scenarios"]}
+        assert "pagerank-shard-failures" in names
+        assert "pagerank-checkpoint-resume" in names
+        assert "distributed-pagerank-node-failure" in names
+
+    def test_bad_failure_rate_rejected(self, capsys):
+        code, _, err = run(capsys, "chaos", "--quick", "--failure-rate", "1.5")
+        assert code != 0
+        assert "fault probability must be in [0, 1]" in err

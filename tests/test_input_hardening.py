@@ -1,0 +1,195 @@
+"""Hypothesis fuzz tests for input validation (ISSUE 4 satellite b).
+
+``check_vector`` and the SpMM RHS normalisers must raise a loud
+:class:`ValidationError` — never silently propagate — for NaN/Inf,
+un-coercible dtypes, wrong shapes, and negative-stride (reversed)
+views, across every execution surface: bare ``check_vector``, cached
+plans of each matrix format, and the sharded executor.
+
+Finite magnitudes are drawn within ±1e75 so the allocation-free
+``dot(x, x)`` finiteness probe cannot overflow on genuinely finite
+input (its documented false-positive regime starts near 1e154).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.exec.sharded import ShardedExecutor
+from repro.formats.base import all_finite, check_vector, coerce_array
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.hyb import HYBMatrix
+from repro.graphs.rmat import rmat_graph
+
+N = 32
+
+finite = st.floats(
+    min_value=-1e75, max_value=1e75, allow_nan=False, allow_infinity=False
+)
+poison = st.sampled_from(
+    [float("nan"), float("inf"), float("-inf")]
+)
+
+
+def _matrix() -> COOMatrix:
+    return rmat_graph(N, 4 * N, seed=3).to_coo()
+
+
+def _surfaces():
+    """Every spmv surface that must reject bad vectors."""
+    coo = _matrix()
+    return {
+        "coo-plan": coo.spmv_plan(),
+        "csr-plan": CSRMatrix.from_coo(coo).spmv_plan(),
+        "hyb-plan": HYBMatrix.from_coo(coo).spmv_plan(),
+    }
+
+
+SURFACES = _surfaces()
+SHARDED = ShardedExecutor(_matrix(), 2)
+
+
+# ----------------------------------------------------------------------
+# check_vector / coerce_array primitives
+# ----------------------------------------------------------------------
+
+
+@given(values=st.lists(finite, min_size=1, max_size=64),
+       bad=poison, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_check_vector_rejects_any_poisoned_position(values, bad, data):
+    index = data.draw(st.integers(0, len(values) - 1))
+    x = np.array(values, dtype=np.float64)
+    x[index] = bad
+    with pytest.raises(ValidationError):
+        check_vector(x, x.size)
+
+
+@given(values=st.lists(finite, min_size=1, max_size=64))
+@settings(max_examples=40, deadline=None)
+def test_check_vector_accepts_all_finite(values):
+    x = np.array(values, dtype=np.float64)
+    out = check_vector(x, x.size)
+    assert out is x  # the fast path is a pass-through
+    assert all_finite(out)
+
+
+@given(values=st.lists(finite, min_size=2, max_size=64))
+@settings(max_examples=40, deadline=None)
+def test_check_vector_rejects_negative_stride_views(values):
+    x = np.array(values, dtype=np.float64)
+    with pytest.raises(ValidationError):
+        check_vector(x[::-1], x.size)
+
+
+@given(dtype=st.sampled_from(["complex128", "U8", "object", "float128"]))
+@settings(max_examples=8, deadline=None)
+def test_check_vector_rejects_uncoercible_dtypes(dtype):
+    if dtype == "float128" and not hasattr(np, "float128"):
+        pytest.skip("platform lacks float128")
+    x = np.ones(4, dtype=dtype)
+    with pytest.raises(ValidationError):
+        check_vector(x, 4)
+
+
+def test_check_vector_rejects_wrong_rank_and_length():
+    with pytest.raises(ValidationError):
+        check_vector(np.ones((2, 2)), 4)
+    with pytest.raises(ValidationError):
+        check_vector(np.ones(3), 4)
+    with pytest.raises(ValidationError):
+        coerce_array(object(), "x", ndim=1)
+
+
+def test_integer_input_is_coerced_not_rejected():
+    out = check_vector(np.arange(4), 4)
+    assert out.dtype == np.float64
+
+
+# ----------------------------------------------------------------------
+# Every execution surface, every format
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("surface", sorted(SURFACES))
+@given(bad=poison, data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_plans_reject_poisoned_spmv_input(surface, bad, data):
+    plan = SURFACES[surface]
+    x = np.ones(N)
+    x[data.draw(st.integers(0, N - 1))] = bad
+    with pytest.raises(ValidationError):
+        plan.execute(x)
+
+
+@pytest.mark.parametrize("surface", sorted(SURFACES))
+@given(bad=poison, data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_plans_reject_poisoned_spmm_input(surface, bad, data):
+    plan = SURFACES[surface]
+    X = np.ones((N, 3))
+    X[data.draw(st.integers(0, N - 1)), data.draw(st.integers(0, 2))] = bad
+    with pytest.raises(ValidationError):
+        plan.execute_many(X)
+
+
+@pytest.mark.parametrize("surface", sorted(SURFACES))
+def test_plans_reject_reversed_and_wrong_shape_input(surface):
+    plan = SURFACES[surface]
+    with pytest.raises(ValidationError):
+        plan.execute(np.ones(2 * N)[::-2])
+    with pytest.raises(ValidationError):
+        plan.execute(np.ones((N, 1)))
+    with pytest.raises(ValidationError):
+        plan.execute_many(np.ones((N, 3))[:, ::-1])
+    with pytest.raises(ValidationError):
+        plan.execute_many(np.ones(N))
+    with pytest.raises(ValidationError):
+        plan.execute_many(np.ones((N, 2), dtype=np.complex128))
+
+
+@given(bad=poison, data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_sharded_executor_rejects_poisoned_input(bad, data):
+    x = np.ones(N)
+    x[data.draw(st.integers(0, N - 1))] = bad
+    with pytest.raises(ValidationError):
+        SHARDED.spmv(x)
+    X = np.ones((N, 2))
+    X[data.draw(st.integers(0, N - 1)), data.draw(st.integers(0, 1))] = bad
+    with pytest.raises(ValidationError):
+        SHARDED.spmm(X)
+
+
+def test_sharded_executor_rejects_bad_layouts():
+    with pytest.raises(ValidationError):
+        SHARDED.spmv(np.ones(2 * N)[::-2])
+    with pytest.raises(ValidationError):
+        SHARDED.spmm(np.ones((N, 2))[::-1, :])
+    with pytest.raises(ValidationError):
+        SHARDED.spmm(np.ones((N, 2), dtype="U4"))
+    with pytest.raises(ValidationError):
+        SHARDED.spmm(np.ones(N))
+
+
+@given(values=st.lists(
+    # Also representable in float32: the last leg round-trips through it.
+    st.floats(min_value=-1e30, max_value=1e30,
+              allow_nan=False, allow_infinity=False),
+    min_size=N * 2, max_size=N * 2,
+))
+@settings(max_examples=20, deadline=None)
+def test_legal_slow_layouts_still_work_everywhere(values):
+    """Fortran order and other real dtypes are *staged*, not rejected —
+    and the staged result matches the contiguous one bitwise."""
+    X = np.array(values, dtype=np.float64).reshape(N, 2)
+    expected = SHARDED.spmm(X)
+    fortran = np.asfortranarray(X)
+    assert np.array_equal(SHARDED.spmm(fortran), expected)
+    f32 = X.astype(np.float32)
+    assert np.array_equal(
+        SHARDED.spmm(f32), SHARDED.spmm(f32.astype(np.float64))
+    )

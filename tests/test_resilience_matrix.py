@@ -1,0 +1,197 @@
+"""The chaos test matrix (ISSUE 4 satellite a).
+
+Every fault site × kernel configuration {CSR, HYB, Tile-Composite} ×
+shard count {1, 2, 4, auto}, at probability 1.0 so the decision
+sequence is exact: every attempt at the site fires, every shard
+exhausts its retry budget and degrades to the fault-suppressed serial
+fallback — and the run must still be **bit-identical** to the
+fault-free COO reference, with the exact injected fault count visible
+in ``repro.obs.metrics``.
+
+With ``p = 1.0`` the expected count is closed-form::
+
+    injected = iterations × max_attempts × active_shards
+
+(each of the ``max_attempts`` attempts per shard per call fires once;
+the degraded fallback runs suppressed and adds nothing).
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.exec.sharded import ShardedExecutor
+from repro.formats.csr import CSRMatrix
+from repro.formats.hyb import HYBMatrix
+from repro.graphs.rmat import rmat_graph
+from repro.mining.pagerank import pagerank, pagerank_operator
+from repro.obs import metrics as metrics_mod
+from repro.obs.metrics import METRICS
+from repro.resilience import FaultSpec, RetryPolicy
+from repro.resilience import faults as faults_mod
+from repro.resilience.faults import INJECTOR
+
+#: The pinned workload: small enough that 48 cells stay fast, large
+#: enough that every shard of a 4-way deal is non-empty.
+N_NODES, N_EDGES, SEED = 128, 1024, 13
+ITERATIONS = 3  # tol=0.0 pins the loop to exactly max_iter iterations
+
+KERNELS = ["csr", "hyb", "tile-composite"]
+SHARD_COUNTS = [1, 2, 4, "auto"]
+SITES = [
+    ("shard.task", "error"),
+    ("backend.spmv", "error"),
+    ("backend.corrupt", "corrupt"),
+    ("shard.corrupt", "corrupt"),
+]
+
+MAX_ATTEMPTS = RetryPolicy().max_attempts
+
+
+@functools.lru_cache(maxsize=1)
+def workload():
+    graph = rmat_graph(N_NODES, N_EDGES, seed=SEED)
+    # The fault-free COO reference: the plain (unsharded) engine on the
+    # COO PageRank operator.
+    reference = pagerank(
+        graph, kernel="cpu-csr", tol=0.0, max_iter=ITERATIONS
+    )
+    return graph, reference
+
+
+@pytest.fixture
+def armed():
+    """Arm the injector for one test; restore and scrub after."""
+    prior_metrics = metrics_mod.enabled()
+    metrics_mod.enable()
+    METRICS.reset()
+    faults_mod.arm()
+    try:
+        yield
+    finally:
+        faults_mod.disarm()
+        INJECTOR.clear()
+        METRICS.reset()
+        if not prior_metrics:
+            metrics_mod.disable()
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("site,mode", SITES)
+def test_matrix_cell_recovers_with_exact_counts(
+    armed, kernel, n_shards, site, mode
+):
+    graph, reference = workload()
+    INJECTOR.configure(FaultSpec(site, mode, probability=1.0), seed=SEED)
+    result = pagerank(
+        graph, kernel=kernel, tol=0.0, max_iter=ITERATIONS,
+        n_shards=n_shards,
+    )
+
+    # Recovered bit-identically to the fault-free COO reference.
+    assert np.array_equal(result.vector, reference.vector), (
+        f"{kernel}/{n_shards}/{site}:{mode} diverged from the reference"
+    )
+    assert result.iterations == reference.iterations
+
+    # Exact accounting: p=1.0 fires on every attempt of every active
+    # shard; 128 rows over <= 4 shards leaves no shard empty.
+    shards = result.extra["n_shards"]
+    expected = ITERATIONS * MAX_ATTEMPTS * shards
+    assert INJECTOR.injected(site) == expected
+    assert METRICS.counter(
+        "resilience.faults.injected", site=site, mode=mode
+    ) == expected
+    assert METRICS.counter_total("resilience.faults.injected") == expected
+    if mode == "corrupt":
+        assert METRICS.counter_total(
+            "resilience.corruption.detected"
+        ) == expected
+    # Every shard exhausted its budget and degraded, every call.
+    assert METRICS.counter_total(
+        "resilience.degraded"
+    ) == ITERATIONS * shards
+    assert METRICS.counter_total(
+        "resilience.retries"
+    ) == ITERATIONS * shards * (MAX_ATTEMPTS - 1)
+
+
+def _formats():
+    coo = pagerank_operator(
+        rmat_graph(N_NODES, N_EDGES, seed=SEED).to_coo()
+    )
+    return {
+        "coo": coo,
+        "csr": CSRMatrix.from_coo(coo),
+        "hyb": HYBMatrix.from_coo(coo),
+    }
+
+
+@pytest.mark.parametrize("fmt", ["coo", "csr", "hyb"])
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+def test_spmm_site_over_matrix_formats(armed, fmt, n_shards):
+    """The batched site (``backend.spmm``) across executor input
+    formats: every format round-trips to the same canonical row-sorted
+    COO shards, so recovery stays bit-identical to the COO reference."""
+    formats = _formats()
+    matrix = formats[fmt]
+    X = np.random.default_rng(SEED).random((matrix.n_cols, 3))
+    reference = formats["coo"].spmv_plan().execute_many(X)
+
+    INJECTOR.configure(
+        FaultSpec("backend.spmm", "error", probability=1.0), seed=SEED
+    )
+    calls = 2
+    with ShardedExecutor(matrix, n_shards) as engine:
+        out = np.empty((matrix.n_rows, 3))
+        for _ in range(calls):
+            engine.spmm(X, out=out)
+            assert np.array_equal(out, reference)
+        active = len(engine._active)
+
+    expected = calls * MAX_ATTEMPTS * active
+    assert INJECTOR.injected("backend.spmm") == expected
+    assert METRICS.counter_total("resilience.faults.injected") == expected
+
+
+def test_probability_zero_never_fires(armed):
+    graph, reference = workload()
+    INJECTOR.configure(
+        FaultSpec("shard.task", "error", probability=0.0), seed=SEED
+    )
+    result = pagerank(
+        graph, kernel="cpu-csr", tol=0.0, max_iter=ITERATIONS, n_shards=4
+    )
+    assert np.array_equal(result.vector, reference.vector)
+    assert INJECTOR.injected() == 0
+    assert METRICS.counter_total("resilience.faults.injected") == 0
+    assert METRICS.counter_total("resilience.degraded") == 0
+
+
+def test_acceptance_scenario_twenty_percent_failures_100_iterations(armed):
+    """The ISSUE acceptance bar: a 100-iteration sharded PageRank with a
+    20 % shard-failure rate completes bit-identically, with the
+    retries/degradations visible in the metrics."""
+    graph, _ = workload()
+    reference = pagerank(
+        graph, kernel="cpu-csr", tol=0.0, max_iter=100, n_shards=4
+    )
+    METRICS.reset()
+    INJECTOR.configure(
+        FaultSpec("shard.task", "error", probability=0.2), seed=SEED
+    )
+    result = pagerank(
+        graph, kernel="cpu-csr", tol=0.0, max_iter=100, n_shards=4
+    )
+    assert np.array_equal(result.vector, reference.vector)
+    assert result.iterations == 100
+    injected = INJECTOR.injected("shard.task")
+    assert injected > 0
+    assert METRICS.counter_total("resilience.faults.injected") == injected
+    # Every injected failure was either retried away or degraded.
+    retries = METRICS.counter_total("resilience.retries")
+    degraded = METRICS.counter_total("resilience.degraded")
+    assert retries + degraded == injected
+    assert retries > 0
