@@ -1,0 +1,213 @@
+"""Wall-clock benchmark of the measured auto-tuner (``repro.tuner``).
+
+Two claims are gated:
+
+* **tuned >= best static within noise** — the tuner's decided engine
+  must reach at least ``MIN_RELATIVE_THROUGHPUT`` of the best
+  *statically chosen* configuration's iterations/second on a fixed
+  SpMV loop.  (The tuner measures the same candidates, so it can only
+  lose to noise — a bigger loss means the decision plumbing is broken.)
+* **cache-hit tuning is O(1)** — a second :func:`repro.tuner.tune` call
+  on the same matrix must resolve from the persistent cache with zero
+  measurement runs and a wall time bounded by ``MAX_CACHED_SECONDS``
+  (fingerprinting plus one small-file read; no SpMV is executed).
+
+Results go to ``benchmarks/results/BENCH_tuner.json``; ``--quick`` is
+the CI mode (small graph, gates enforced).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.exec.backends import available_backends  # noqa: E402
+from repro.exec.sharded import ShardedExecutor, auto_shard_count  # noqa: E402
+from repro.formats.convert import to_format  # noqa: E402
+from repro.graphs.rmat import rmat_graph  # noqa: E402
+from repro.tuner import TuningCache, tune  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL_NODES, FULL_EDGES, FULL_SPMVS = 1 << 15, 500_000, 200
+QUICK_NODES, QUICK_EDGES, QUICK_SPMVS = 1 << 12, 65_536, 60
+
+#: Tuned throughput must reach this fraction of the best static
+#: configuration (the ISSUE's "within 10%" acceptance bound).
+MIN_RELATIVE_THROUGHPUT = 0.90
+
+#: A cache-hit tune() call performs no SpMV; even on a loaded CI box
+#: fingerprint + JSON read finishes well inside this bound.
+MAX_CACHED_SECONDS = 1.0
+
+
+#: Throughput rounds: every configuration (statics and the tuned
+#: engine) is measured once per round, and the per-configuration
+#: median over rounds is reported — interleaving cancels the slow
+#: machine-load drift that sequential measurement would alias into a
+#: spurious win or loss for whichever config ran last.
+N_ROUNDS = 3
+
+
+def loop_throughput(run, n_spmvs: int) -> float:
+    """Iterations/second of a fixed-count SpMV loop (after warmup)."""
+    run()
+    start = time.perf_counter()
+    for _ in range(n_spmvs):
+        run()
+    return n_spmvs / (time.perf_counter() - start)
+
+
+def static_configurations(matrix) -> list[dict]:
+    """The grid a static chooser would pick from: every format the
+    tuner's pruning could reach x available backends x {1, auto}."""
+    configs = []
+    shard_counts = sorted({1, auto_shard_count(matrix.nnz)})
+    for fmt in ("csr", "ell", "hyb"):
+        try:
+            formatted = to_format(matrix, fmt)
+        except Exception:
+            continue
+        for backend in available_backends():
+            for n_shards in shard_counts:
+                configs.append({
+                    "format": fmt,
+                    "backend": backend,
+                    "n_shards": n_shards,
+                    "matrix": formatted,
+                })
+    return configs
+
+
+def static_runner(config, x, out):
+    """A closure executing one static configuration (plus its closer)."""
+    formatted = config["matrix"]
+    if config["n_shards"] == 1:
+        plan = formatted.spmv_plan(config["backend"])
+        return (lambda: plan.execute(x, out=out)), (lambda: None)
+    executor = ShardedExecutor(
+        formatted, config["n_shards"], backend=config["backend"]
+    )
+    return (lambda: executor.spmv(x, out=out)), executor.close
+
+
+def run_benchmark(quick: bool) -> dict:
+    nodes, edges, n_spmvs = (
+        (QUICK_NODES, QUICK_EDGES, QUICK_SPMVS)
+        if quick
+        else (FULL_NODES, FULL_EDGES, FULL_SPMVS)
+    )
+    matrix = rmat_graph(nodes, edges, seed=7)
+    x = np.random.default_rng(0).random(matrix.n_cols)
+    out = np.empty(matrix.n_rows)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = TuningCache(Path(tmp) / "tuner_cache.json")
+        start = time.perf_counter()
+        decision = tune(matrix, cache=cache)
+        first_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        cached_decision = tune(matrix, cache=cache)
+        cached_seconds = time.perf_counter() - start
+
+    engine = decision.build_engine(matrix)
+    runners = []
+    closers = [engine.close]
+    for config in static_configurations(matrix):
+        run, close = static_runner(config, x, out)
+        runners.append((config, run, []))
+        closers.append(close)
+    tuned_samples: list[float] = []
+    try:
+        for _ in range(N_ROUNDS):
+            for _config, run, samples in runners:
+                samples.append(loop_throughput(run, n_spmvs))
+            tuned_samples.append(loop_throughput(
+                lambda: engine.spmv(x, out=out), n_spmvs
+            ))
+    finally:
+        for close in closers:
+            close()
+
+    static_rows = [
+        {
+            "format": config["format"],
+            "backend": config["backend"],
+            "n_shards": config["n_shards"],
+            "iterations_per_second": sorted(samples)[len(samples) // 2],
+            "rounds": samples,
+        }
+        for config, _run, samples in runners
+    ]
+    best_static = max(
+        static_rows, key=lambda r: r["iterations_per_second"]
+    )
+    tuned_ips = sorted(tuned_samples)[len(tuned_samples) // 2]
+    relative = tuned_ips / best_static["iterations_per_second"]
+    gates = {
+        "tuned_within_noise_of_best_static": relative
+        >= MIN_RELATIVE_THROUGHPUT,
+        "cache_hit_is_o1": (
+            cached_decision.from_cache
+            and cached_seconds <= MAX_CACHED_SECONDS
+        ),
+        "cached_decision_identical": (
+            cached_decision.to_dict() == decision.to_dict()
+        ),
+    }
+    return {
+        "benchmark": "tuner",
+        "quick": quick,
+        "graph": {
+            "generator": "rmat",
+            "n_nodes": nodes,
+            "requested_edges": edges,
+            "nnz": matrix.nnz,
+        },
+        "n_spmvs": n_spmvs,
+        "static": static_rows,
+        "best_static": {
+            k: v for k, v in best_static.items()
+        },
+        "decision": decision.to_dict(),
+        "tuned_iterations_per_second": tuned_ips,
+        "relative_to_best_static": relative,
+        "first_tune_seconds": first_seconds,
+        "cached_tune_seconds": cached_seconds,
+        "gates": gates,
+        "all_gates_passed": all(gates.values()),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized run"
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmark(args.quick)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_tuner.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["gates"], indent=2))
+    print(
+        f"tuned {report['tuned_iterations_per_second']:.0f} it/s vs "
+        f"best static {report['best_static']['iterations_per_second']:.0f} "
+        f"it/s (x{report['relative_to_best_static']:.3f}); cache hit in "
+        f"{report['cached_tune_seconds'] * 1e3:.1f} ms "
+        f"(first tune {report['first_tune_seconds'] * 1e3:.1f} ms)"
+    )
+    print(f"report written to {out_path}")
+    return 0 if report["all_gates_passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,10 @@ The package is organised as:
 ``repro.obs``
     Observability: metrics registry, trace spans and per-iteration
     convergence records, zero-overhead while disabled (``REPRO_OBS``).
+``repro.tuner``
+    Measured end-to-end auto-tuning: model-pruned ``format x backend x
+    shard-count`` candidates timed with short real SpMV runs, decisions
+    persisted in an on-disk cache (``REPRO_TUNER_CACHE``).
 
 Quickstart::
 
@@ -43,7 +47,7 @@ Quickstart::
     print(report.gflops, report.bandwidth_gbs)
 """
 
-from repro import core, formats, gpu, graphs, kernels, mining, multigpu
+from repro import core, formats, gpu, graphs, kernels, mining, multigpu, tuner
 from repro.formats import COOMatrix, CSCMatrix, CSRMatrix
 from repro.gpu import CostReport, DeviceSpec
 from repro.graphs import datasets
@@ -64,4 +68,5 @@ __all__ = [
     "kernels",
     "mining",
     "multigpu",
+    "tuner",
 ]

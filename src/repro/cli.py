@@ -19,6 +19,11 @@ Small, scriptable entry points over the library's main flows:
     with the observability layer enabled and emit the JSON profile
     report (plan-cache and pool hit rates, per-shard seconds,
     per-iteration residual traces).
+``tune``
+    Measured end-to-end auto-tune of a MatrixMarket file or R-MAT
+    graph: prune ``format x backend x shard-count`` candidates with
+    the §5 model, time the survivors with short real SpMV runs, print
+    the measured table and persist the decision in the tuning cache.
 ``chaos``
     Arm the fault injector against an R-MAT workload and emit a JSON
     survival report: sharded SpMV under every fault site, a
@@ -149,6 +154,39 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--out", default=None, metavar="FILE",
         help="write the JSON report here (default: print to stdout)",
+    )
+
+    tune_p = sub.add_parser(
+        "tune",
+        help="measured auto-tune: pick format x backend x shard count "
+        "for a matrix and persist the decision",
+    )
+    tune_p.add_argument(
+        "matrix", nargs="?", default=None, metavar="MATRIX.mtx",
+        help="MatrixMarket file to tune (or use --rmat)",
+    )
+    tune_p.add_argument(
+        "--rmat", action="store_true",
+        help="tune a synthetic R-MAT graph instead of a file",
+    )
+    tune_p.add_argument(
+        "--nodes", type=int, default=4096, help="R-MAT vertex count"
+    )
+    tune_p.add_argument(
+        "--edges", type=int, default=65536, help="R-MAT edge draws"
+    )
+    tune_p.add_argument("--seed", type=int, default=7)
+    tune_p.add_argument(
+        "--quick", action="store_true",
+        help="reduced warmup/repeat measurement budget (CI)",
+    )
+    tune_p.add_argument(
+        "--force", action="store_true",
+        help="re-measure even when a cached decision exists",
+    )
+    tune_p.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSON tuning report here",
     )
 
     chaos = sub.add_parser(
@@ -355,6 +393,77 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_tune(args) -> int:
+    from repro.errors import ValidationError
+    from repro.tuner import resolve_cache_path, tune
+
+    if args.rmat == (args.matrix is not None):
+        raise ValidationError(
+            "pass exactly one input: a MatrixMarket path or --rmat"
+        )
+    if args.rmat:
+        from repro.graphs.rmat import rmat_graph
+
+        matrix = rmat_graph(args.nodes, args.edges, seed=args.seed)
+        source = f"rmat(nodes={args.nodes}, edges={args.edges}, seed={args.seed})"
+    else:
+        from repro.io.matrix_market import read_matrix_market
+
+        try:
+            matrix = read_matrix_market(args.matrix)
+        except OSError as exc:
+            raise ValidationError(
+                f"cannot read {args.matrix!r}: {exc}"
+            ) from exc
+        source = args.matrix
+    budget = {"repeats": 2, "warmup": 1} if args.quick else {}
+    decision = tune(matrix, force=args.force, **budget)
+    rows = []
+    for cand in decision.candidates:
+        chosen = (
+            cand.get("format") == decision.format
+            and cand.get("backend") == decision.backend
+            and cand.get("n_shards") == decision.n_shards
+            and "seconds" in cand
+        )
+        rows.append([
+            cand.get("format", "-"),
+            cand.get("backend", "-"),
+            cand.get("n_shards", "-"),
+            cand["seconds"] * 1e6 if "seconds" in cand
+            else f"skipped: {cand.get('error', '?')}"[:40],
+            "<== chosen" if chosen else "",
+        ])
+    print(ascii_table(
+        ["format", "backend", "shards", "median spmv (us)", ""],
+        rows,
+        title=f"Measured auto-tune of {source} "
+        f"(shape {matrix.shape}, nnz {matrix.nnz:,})",
+        precision=2,
+    ))
+    cache_path = resolve_cache_path()
+    print(f"decision: format={decision.format} backend={decision.backend} "
+          f"n_shards={decision.n_shards} "
+          f"({decision.seconds * 1e6:.2f} us median)")
+    print(f"model seed: {decision.model_kernel or 'bypassed'}")
+    print("source: cache hit" if decision.from_cache
+          else "source: measured")
+    print(f"cache: {cache_path or 'disabled'}")
+    if args.out:
+        report = {
+            "source": source,
+            "shape": list(matrix.shape),
+            "nnz": matrix.nnz,
+            "decision": decision.to_dict(),
+            "from_cache": decision.from_cache,
+            "cache_path": str(cache_path) if cache_path else None,
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"report written to {args.out}")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from repro.resilience.chaos import run_chaos
 
@@ -406,6 +515,7 @@ _COMMANDS = {
     "autotune": _cmd_autotune,
     "info": _cmd_info,
     "profile": _cmd_profile,
+    "tune": _cmd_tune,
     "chaos": _cmd_chaos,
 }
 

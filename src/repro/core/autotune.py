@@ -81,6 +81,24 @@ def workload_candidates(
     return candidates
 
 
+def _pick_best(
+    best: tuple[int, float], candidate: int, time: float
+) -> tuple[int, float]:
+    """NaN-safe running minimum over workload candidates.
+
+    A ``NaN`` score fails every ``<`` comparison and an all-``inf``
+    sweep never replaces a sentinel, so the running best must start at
+    a *feasible* candidate, never at the ``workload_size=0`` sentinel
+    (which ``build_tile_composite`` rejects).  NaN scores are treated
+    as infinitely slow and can never win.
+    """
+    if np.isnan(time):
+        return best
+    if time < best[1]:
+        return candidate, time
+    return best
+
+
 def partition_tile(
     sorted_row_lengths: np.ndarray,
     device: DeviceSpec,
@@ -90,20 +108,25 @@ def partition_tile(
     max_candidates: int = 64,
 ) -> tuple[int, float]:
     """Algorithm 2: best workload size for one tile and its predicted
-    time."""
+    time.
+
+    Degenerate score tables (every candidate predicting ``inf`` or
+    ``NaN``) fall back to the first — smallest feasible — candidate
+    rather than the unusable workload size 0.
+    """
     lengths = np.asarray(sorted_row_lengths)
     if lengths.size == 0:
         return 1, 0.0
-    best_size, best_time = 0, np.inf
-    for candidate in workload_candidates(
+    candidates = workload_candidates(
         lengths, device, max_candidates=max_candidates
-    ):
+    )
+    best = (candidates[0], np.inf)
+    for candidate in candidates:
         time = predict_tile_seconds(
             lengths, candidate, table, device, cached=cached
         )
-        if time < best_time:
-            best_size, best_time = candidate, time
-    return best_size, best_time
+        best = _pick_best(best, candidate, time)
+    return best
 
 
 def _tile_sorted_lengths(tile_coo) -> np.ndarray:
@@ -193,33 +216,37 @@ def exhaustive_search(
         per_tile: list[float] = []
         for tile_coo in tile_coos:
             lengths = _tile_sorted_lengths(tile_coo)
-            best_size, best_time = 0, np.inf
-            for candidate in workload_candidates(
+            candidates = workload_candidates(
                 lengths, device, max_candidates=max_candidates
-            ):
+            )
+            best_size, best_time = candidates[0], np.inf
+            for candidate in candidates:
                 tile = build_composite_tile(
                     tile_coo, device, workload_size=candidate, cached=True
                 )
                 cost = composite_tile_cost(tile, device)
-                if cost.time_seconds < best_time:
-                    best_size, best_time = candidate, cost.time_seconds
+                best_size, best_time = _pick_best(
+                    (best_size, best_time), candidate, cost.time_seconds
+                )
             sizes.append(best_size)
             per_tile.append(best_time)
             total += best_time
         remainder_size: int | None = None
         if remainder_coo.nnz:
             lengths = _tile_sorted_lengths(remainder_coo)
-            best_size, best_time = 0, np.inf
-            for candidate in workload_candidates(
+            candidates = workload_candidates(
                 lengths, device, max_candidates=max_candidates
-            ):
+            )
+            best_size, best_time = candidates[0], np.inf
+            for candidate in candidates:
                 tile = build_composite_tile(
                     remainder_coo, device, workload_size=candidate,
                     cached=False,
                 )
                 cost = composite_tile_cost(tile, device)
-                if cost.time_seconds < best_time:
-                    best_size, best_time = candidate, cost.time_seconds
+                best_size, best_time = _pick_best(
+                    (best_size, best_time), candidate, cost.time_seconds
+                )
             remainder_size = best_size
             per_tile.append(best_time)
             total += best_time

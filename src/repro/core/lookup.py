@@ -41,6 +41,11 @@ __all__ = ["LookupTable"]
 #: workloads to fill the computation pipeline").
 BENCH_PIPELINE_FACTOR = 2
 
+#: Quantisation of the ``x_density`` axis: densities are rounded to
+#: 1/64 steps so the memoised table stays "relatively small and finite"
+#: even when callers pass per-workload nonzero densities.
+DENSITY_BUCKETS = 64
+
 
 class LookupTable:
     """Memoised shape → per-iteration throughput mapping for one device.
@@ -57,7 +62,9 @@ class LookupTable:
         #: Upper bound of the workload sizes the table admits (the
         #: paper uses 32768 on the Tesla).
         self.upper_bound = upper_bound
-        self._cache: dict[tuple[int, int, int, int, int, bool], float] = {}
+        self._cache: dict[
+            tuple[int, int, int, int, int, bool, int], float
+        ] = {}
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -71,14 +78,33 @@ class LookupTable:
         storage: int,
         *,
         cached: bool = True,
+        x_density: float = 1.0,
     ) -> float:
-        """Throughput (padded entries / second / iteration) of a shape."""
+        """Throughput (padded entries / second / iteration) of a shape.
+
+        ``x_density`` is the fraction of the rectangle's slots holding
+        true nonzeros.  Padding slots stream matrix bytes and issue
+        instructions like any other slot, but their ``x`` reads hit a
+        sentinel index and never fetch a fresh texture line, so the
+        uncached ``x`` traffic scales with the density (quantised to
+        :data:`DENSITY_BUCKETS` steps to keep the table finite).
+        """
         if storage not in (STORAGE_CSR, STORAGE_ELL):
             raise ValidationError(f"unknown storage code {storage}")
-        key = (int(w_pad), int(h), int(w), int(h_pad), int(storage), cached)
+        if not 0.0 <= x_density <= 1.0:
+            raise ValidationError(
+                f"x_density must be in [0, 1], got {x_density}"
+            )
+        bucket = int(round(x_density * DENSITY_BUCKETS))
+        key = (
+            int(w_pad), int(h), int(w), int(h_pad), int(storage), cached,
+            bucket,
+        )
         hit = self._cache.get(key)
         if hit is None:
-            hit = self._benchmark(*key)
+            hit = self._benchmark(
+                *key[:6], x_density=bucket / DENSITY_BUCKETS
+            )
             self._cache[key] = hit
         return hit
 
@@ -88,7 +114,7 @@ class LookupTable:
 
     def _benchmark(
         self, w_pad: int, h: int, w: int, h_pad: int, storage: int,
-        cached: bool,
+        cached: bool, *, x_density: float = 1.0,
     ) -> float:
         device = self.device
         n_wl = device.max_active_warps * BENCH_PIPELINE_FACTOR
@@ -106,7 +132,7 @@ class LookupTable:
         if cached:
             x_dram = 0.0  # per-tile texture residency: reads hit
         else:
-            x_dram = padded_total * device.texture_line_bytes
+            x_dram = padded_total * x_density * device.texture_line_bytes
         memory_seconds = (matrix_dram + x_dram) / (
             device.global_bandwidth * cal.STREAM_EFFICIENCY
         )

@@ -31,31 +31,47 @@ def predict_workloads_seconds(
     device: DeviceSpec,
     *,
     cached: bool = True,
+    true_nnz: bool = False,
 ) -> float:
-    """Equations 1–5 over an already-packed workload set."""
+    """Equations 1–5 over an already-packed workload set.
+
+    With ``true_nnz`` the uncached ``x``-read traffic of each rectangle
+    is charged for its *stored nonzeros* only (``workloads.nnz``), not
+    its padded area: padding slots read a sentinel index and never miss
+    the texture cache.  The default keeps the historical padded-area
+    accounting used by the tile auto-tuner.
+    """
+    from repro.core.lookup import DENSITY_BUCKETS
+
     n = workloads.n_workloads
     if n == 0:
         return 0.0
     # Performance lookups, grouped by unique shape so each distinct
     # rectangle is benchmarked once.
-    keys = np.stack(
-        [
-            workloads.w_pad,
-            workloads.heights,
-            workloads.widths,
-            workloads.h_pad,
-            workloads.storage,
-        ],
-        axis=1,
-    )
+    columns = [
+        workloads.w_pad,
+        workloads.heights,
+        workloads.widths,
+        workloads.h_pad,
+        workloads.storage,
+    ]
+    if true_nnz:
+        padded = np.maximum(workloads.padded_entries, 1)
+        density = np.clip(workloads.nnz / padded, 0.0, 1.0)
+        columns.append(
+            np.round(density * DENSITY_BUCKETS).astype(np.int64)
+        )
+    else:
+        columns.append(np.full(n, DENSITY_BUCKETS, dtype=np.int64))
+    keys = np.stack(columns, axis=1)
     unique_keys, inverse = np.unique(keys, axis=0, return_inverse=True)
     perf_unique = np.array(
         [
             table.performance(
                 int(w_pad), int(h), int(w), int(h_pad), int(storage),
-                cached=cached,
+                cached=cached, x_density=bucket / DENSITY_BUCKETS,
             )
-            for w_pad, h, w, h_pad, storage in unique_keys
+            for w_pad, h, w, h_pad, storage, bucket in unique_keys
         ]
     )
     perf = perf_unique[inverse]

@@ -46,11 +46,19 @@ class KernelChoice:
 
 def _uniform_workloads(
     widths: np.ndarray, heights: np.ndarray, storage: int,
-    device: DeviceSpec,
+    device: DeviceSpec, *, nnz: np.ndarray | None = None,
 ) -> WorkloadSet:
     """A WorkloadSet built directly from given rectangles (bypassing the
     greedy packer) — the vehicle for expressing other kernels as
-    composite special cases."""
+    composite special cases.
+
+    ``nnz`` is the *true* stored-nonzero count of each rectangle.  It
+    defaults to the rectangle area, which is only correct when every
+    slot holds a nonzero (the CSR-vector one-row case); padded layouts
+    such as the ELL special case must pass their real per-group counts,
+    otherwise the zero-padding is billed as useful nonzeros and the
+    model's ``x``-traffic term is inflated by the padding ratio.
+    """
     widths = np.asarray(widths, dtype=np.int64)
     heights = np.asarray(heights, dtype=np.int64)
     n = widths.size
@@ -65,6 +73,10 @@ def _uniform_workloads(
     starts = np.zeros(n, dtype=np.int64)
     if n > 1:
         np.cumsum(heights[:-1], out=starts[1:])
+    if nnz is None:
+        nnz = widths * heights
+    else:
+        nnz = np.asarray(nnz, dtype=np.int64)
     return WorkloadSet(
         workload_size=0,
         starts=starts,
@@ -73,7 +85,7 @@ def _uniform_workloads(
         w_pad=np.maximum(w_pad, warp),
         h_pad=np.maximum(h_pad, 1),
         storage=storage_arr,
-        nnz=widths * heights,
+        nnz=nnz,
     )
 
 
@@ -108,19 +120,27 @@ def predict_kernel_seconds(
     if kernel == "csr-vector":
         workloads = _uniform_workloads(
             lengths, np.ones(lengths.size, dtype=np.int64),
-            STORAGE_CSR, device,
+            STORAGE_CSR, device, nnz=lengths,
         )
     else:  # ell
         max_len = int(lengths.max())
         n_groups = -(-lengths.size // device.warp_size)
         group_heights = np.full(n_groups, device.warp_size, dtype=np.int64)
         group_heights[-1] = lengths.size - device.warp_size * (n_groups - 1)
+        # True stored nonzeros of each 32-row group — NOT the padded
+        # rectangle area max_len × height, which would bill every
+        # padding slot as a nonzero and overstate ELL's x traffic on
+        # skewed row-length distributions.
+        group_starts = np.arange(
+            0, lengths.size, device.warp_size, dtype=np.int64
+        )
+        group_nnz = np.add.reduceat(lengths, group_starts)
         workloads = _uniform_workloads(
             np.full(n_groups, max_len, dtype=np.int64),
-            group_heights, STORAGE_ELL, device,
+            group_heights, STORAGE_ELL, device, nnz=group_nnz,
         )
     return predict_workloads_seconds(
-        workloads, table, device, cached=False
+        workloads, table, device, cached=False, true_nnz=True
     )
 
 
@@ -131,21 +151,35 @@ def select_kernel(
     candidates: tuple[str, ...] = SELECTABLE,
     table: LookupTable | None = None,
 ) -> KernelChoice:
-    """Pick the kernel the model predicts fastest for this matrix."""
+    """Pick the kernel the model predicts fastest for this matrix.
+
+    A candidate the model cannot express is *not* silently dropped: its
+    entry in ``KernelChoice.predictions`` records the failure reason as
+    ``{"error": ...}``, and when every candidate fails the raised
+    :class:`ValidationError` chains the last failure as its cause.
+    """
     table = table or LookupTable(device)
-    predictions = {}
+    predictions: dict = {}
+    scored: dict[str, float] = {}
+    last_error: ValidationError | None = None
     for name in candidates:
         try:
-            predictions[name] = predict_kernel_seconds(
+            seconds = predict_kernel_seconds(
                 name, matrix, device, table=table
             )
-        except ValidationError:
+        except ValidationError as exc:
+            predictions[name] = {"error": str(exc)}
+            last_error = exc
             continue
-    if not predictions:
-        raise ValidationError("no selectable kernel candidates")
-    best = min(predictions, key=lambda k: predictions[k])
+        predictions[name] = seconds
+        scored[name] = seconds
+    if not scored:
+        raise ValidationError(
+            "no selectable kernel candidates"
+        ) from last_error
+    best = min(scored, key=lambda k: scored[k])
     return KernelChoice(
         kernel=best,
-        predicted_seconds=predictions[best],
+        predicted_seconds=scored[best],
         predictions=predictions,
     )

@@ -63,6 +63,10 @@ __all__ = [
 #: the parallel win — the auto policy keeps such matrices on one shard.
 AUTO_MIN_NNZ_PER_SHARD = 200_000
 
+#: Format the ``n_shards="tuned"`` grid is pinned to (shard execution
+#: is format-agnostic: every shard runs a canonical COO row slice).
+BASELINE_TUNE_FORMAT = "csr"
+
 
 def env_shard_count() -> int | None:
     """The ``REPRO_SPMV_SHARDS`` override, or ``None`` when unset.
@@ -138,7 +142,10 @@ class ShardedExecutor:
         Number of row shards; ``None`` (or ``"auto"``) applies the auto
         policy — ``REPRO_SPMV_SHARDS`` if set, else one shard per core
         capped so shards keep at least :data:`AUTO_MIN_NNZ_PER_SHARD`
-        non-zeros.
+        non-zeros.  ``"tuned"`` asks the measured auto-tuner
+        (:func:`repro.tuner.tune`) to *measure* the shard-count choice
+        for this matrix and backend, resolving from the persistent
+        tuning cache when a fresh decision exists.
     partition:
         ``"bitonic"`` (nnz-balanced serpentine deal, the default) or
         ``"contiguous"`` (equal row blocks, zero-copy output views).
@@ -194,9 +201,23 @@ class ShardedExecutor:
 
         if n_shards is None or n_shards == "auto":
             n_shards = env_shard_count() or auto_shard_count(matrix.nnz)
+        elif n_shards == "tuned":
+            # The measured auto-tuner decides the shard count for this
+            # matrix-and-backend pair (cached decisions make repeat
+            # construction O(1)).  Row shards execute canonical COO
+            # slices regardless of the input format, so the format leg
+            # of the grid is pinned to the CSR baseline.
+            from repro.tuner import tune as _tune
+
+            n_shards = _tune(
+                matrix,
+                formats=(BASELINE_TUNE_FORMAT,),
+                backends=(self.backend,),
+            ).n_shards
         if not isinstance(n_shards, int) or isinstance(n_shards, bool):
             raise ValidationError(
-                f"n_shards must be an int, 'auto' or None, got {n_shards!r}"
+                f"n_shards must be an int, 'auto', 'tuned' or None, "
+                f"got {n_shards!r}"
             )
         if n_shards < 1:
             raise ValidationError(f"n_shards must be >= 1, got {n_shards}")

@@ -203,6 +203,29 @@ class SparseMatrix(abc.ABC):
                 _metrics.METRICS.inc("plan.cache.hits", backend=key)
         return plan
 
+    def tuned_plan(self, **tune_options):
+        """The measured-tuned execution engine for this matrix.
+
+        Runs :func:`repro.tuner.tune` — model-pruned candidates, short
+        real measurements, persistent decision cache — and wraps the
+        winning ``format x backend x shard-count`` configuration in a
+        :class:`~repro.tuner.tuner.TunedEngine` with the same
+        ``spmv``/``spmm`` interface as a plan.  The engine is cached
+        per option set, so repeated calls return the identical object;
+        within one process the tuning itself also resolves from the
+        on-disk cache in O(1) after the first measurement.
+        """
+        engines = self.__dict__.setdefault("_tuned_engines", {})
+        key = repr(sorted(tune_options.items()))
+        engine = engines.get(key)
+        if engine is None:
+            from repro.tuner import tune
+
+            decision = tune(self, **tune_options)
+            engine = decision.build_engine(self)
+            engines[key] = engine
+        return engine
+
     def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Exact product ``y = A @ x``.
 

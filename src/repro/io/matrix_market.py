@@ -76,5 +76,10 @@ def write_matrix_market(matrix: COOMatrix, path: str | Path) -> None:
     with path.open("w", encoding="ascii") as handle:
         handle.write("%%MatrixMarket matrix coordinate real general\n")
         handle.write(f"{coo.n_rows} {coo.n_cols} {coo.nnz}\n")
-        for r, c, v in zip(coo.rows, coo.cols, coo.data):
-            handle.write(f"{r + 1} {c + 1} {v:.17g}\n")
+        if coo.nnz:
+            # One vectorised formatting pass instead of a Python-level
+            # loop over nonzeros; %.17g round-trips float64 exactly.
+            body = np.column_stack(
+                [coo.rows + 1, coo.cols + 1, coo.data]
+            )
+            np.savetxt(handle, body, fmt="%d %d %.17g")

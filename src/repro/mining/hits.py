@@ -67,6 +67,7 @@ def hits(
     multi_vector: bool = True,
     executor=None,
     n_shards: int | str | None = None,
+    tune: bool = False,
     checkpoint=None,
     resume_from=None,
     **kernel_options,
@@ -119,7 +120,9 @@ def hits(
     iterations = start_iteration
     converged = False
     trace = convergence_trace("hits", tol=tol, multi_vector=multi_vector)
-    with resolve_engine(spmv, operator, executor, n_shards) as engine:
+    with resolve_engine(
+        spmv, operator, executor, n_shards, tune=tune
+    ) as engine:
         trace.tick()
         for iterations in range(start_iteration + 1, max_iter + 1):
             if multi_vector:

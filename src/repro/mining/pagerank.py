@@ -63,6 +63,7 @@ def pagerank(
     max_iter: int = 200,
     executor=None,
     n_shards: int | str | None = None,
+    tune: bool = False,
     checkpoint=None,
     resume_from=None,
     **kernel_options,
@@ -83,6 +84,12 @@ def pagerank(
         (built on the PageRank operator) or one built here with
         ``n_shards`` shards (``"auto"`` for the nnz/cores policy).  The
         iterates are bit-identical to the single-shard run.
+    tune:
+        Let the measured auto-tuner (:func:`repro.tuner.tune`) decide
+        the execution configuration for the PageRank operator —
+        mutually exclusive with ``executor``/``n_shards``.  Decisions
+        are persisted in the tuning cache, so only the first run on a
+        matrix pays for measurement.
     checkpoint:
         ``None``, an iteration period (int), or a
         :class:`~repro.resilience.CheckpointConfig` — snapshot the
@@ -130,7 +137,9 @@ def pagerank(
     # shared NULL_TRACE (obs disabled) reduces every hook below to one
     # attribute test, keeping the loop allocation-free.
     trace = convergence_trace("pagerank", damping=damping, tol=tol)
-    with resolve_engine(spmv, operator, executor, n_shards) as engine:
+    with resolve_engine(
+        spmv, operator, executor, n_shards, tune=tune
+    ) as engine:
         trace.tick()
         for iterations in range(start_iteration + 1, max_iter + 1):
             engine.spmv(p, out=new_p)

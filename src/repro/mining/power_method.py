@@ -24,7 +24,7 @@ __all__ = [
 
 
 @contextmanager
-def resolve_engine(kernel, operator, executor=None, n_shards=None):
+def resolve_engine(kernel, operator, executor=None, n_shards=None, tune=False):
     """Choose the object whose ``spmv``/``spmm`` drives a power loop.
 
     With neither ``executor`` nor ``n_shards`` given, the loop runs on
@@ -34,10 +34,28 @@ def resolve_engine(kernel, operator, executor=None, n_shards=None):
     nnz-and-cores policy) builds a :class:`~repro.exec.ShardedExecutor`
     on the operator for the duration of the run; a caller-owned
     ``executor`` (pre-built on the same operator, reusable across runs)
-    is used as-is and left open.
+    is used as-is and left open.  ``tune=True`` asks the measured
+    auto-tuner (:func:`repro.tuner.tune`) for the operator's fastest
+    ``format x backend x shard-count`` configuration — mutually
+    exclusive with ``executor``/``n_shards``, which pin what the tuner
+    would decide.
     """
     from repro.exec.sharded import ShardedExecutor, env_shard_count
 
+    if tune:
+        if executor is not None or n_shards is not None:
+            raise ValidationError(
+                "tune=True decides the executor configuration; do not "
+                "also pass executor= or n_shards="
+            )
+        from repro.tuner import tune as tune_matrix
+
+        engine = tune_matrix(operator).build_engine(operator)
+        try:
+            yield engine
+        finally:
+            engine.close()
+        return
     if executor is not None:
         if n_shards is not None:
             raise ValidationError(

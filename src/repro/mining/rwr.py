@@ -61,6 +61,7 @@ def random_walk_with_restart(
     batched: bool = True,
     executor=None,
     n_shards: int | str | None = None,
+    tune: bool = False,
     checkpoint=None,
     resume_from=None,
     **kernel_options,
@@ -138,7 +139,9 @@ def random_walk_with_restart(
     trace = convergence_trace(
         "rwr", restart=restart, tol=tol, batched=batched
     )
-    with resolve_engine(spmv, operator, executor, n_shards) as engine:
+    with resolve_engine(
+        spmv, operator, executor, n_shards, tune=tune
+    ) as engine:
         trace.tick()
         if batched:
             iteration_counts, all_converged, r = _run_batched(

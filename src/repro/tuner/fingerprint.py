@@ -1,0 +1,78 @@
+"""Deterministic cache keys: matrix fingerprints and environment keys.
+
+A tuning decision is only reusable for *the same workload on the same
+machine*.  The workload side is captured by a structural fingerprint of
+the matrix — shape, stored non-zeros, value dtype and a CRC32 over the
+row- and column-length histograms (SpMV cost is a function of the
+sparsity *structure*, not the stored values, so the histograms pin the
+structure class without hashing O(nnz) coordinate data).  The machine
+side is captured by an environment key — available backends, CPU
+count, library versions — so a cache file copied to a different host
+or carried across an upgrade re-tunes instead of replaying a stale
+decision.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+
+import numpy as np
+
+from repro.exec.backends import available_backends, default_backend_name
+from repro.version import __version__
+
+__all__ = ["environment_key", "matrix_fingerprint"]
+
+
+def _histogram_crc(matrix) -> int:
+    """CRC32 over the row- and column-length histograms.
+
+    Histograms (not the raw length arrays) keep the hashed payload
+    O(max degree) while still distinguishing every degree distribution;
+    chaining the two CRCs distinguishes a matrix from its transpose.
+    """
+    row_hist = np.bincount(matrix.row_lengths(), minlength=1)
+    col_hist = np.bincount(matrix.col_lengths(), minlength=1)
+    crc = zlib.crc32(np.ascontiguousarray(row_hist, dtype="<i8").tobytes())
+    return zlib.crc32(
+        np.ascontiguousarray(col_hist, dtype="<i8").tobytes(), crc
+    )
+
+
+def matrix_fingerprint(matrix) -> str:
+    """Deterministic structural fingerprint of a sparse matrix.
+
+    Equal across processes and sessions for equal structure; two
+    matrices with the same shape and nnz but different degree
+    distributions fingerprint differently.
+    """
+    coo = matrix.to_coo()
+    dtype = coo.data.dtype.name if coo.nnz else "empty"
+    return (
+        f"{matrix.n_rows}x{matrix.n_cols}-nnz{matrix.nnz}"
+        f"-{dtype}-{_histogram_crc(matrix):08x}"
+    )
+
+
+def environment_key() -> dict:
+    """JSON-ready description of the execution environment.
+
+    Any difference — a backend appearing or vanishing, a different
+    default, another core count, a library upgrade — invalidates cached
+    decisions for re-measurement.
+    """
+    try:
+        import scipy
+
+        scipy_version = scipy.__version__
+    except ImportError:  # pragma: no cover - scipy present in CI
+        scipy_version = None
+    return {
+        "backends": list(available_backends()),
+        "default_backend": default_backend_name(),
+        "cpu_count": os.cpu_count() or 1,
+        "numpy": np.__version__,
+        "scipy": scipy_version,
+        "repro": __version__,
+    }

@@ -1,0 +1,503 @@
+"""Model-seeded, measurement-decided execution auto-tuning.
+
+:func:`tune` picks the execution configuration — storage **format**,
+execution **backend**, row **shard count** — that actually runs a
+matrix's SpMV fastest on this host:
+
+1. **Prune with the model.**  §5 kernel selection
+   (:func:`repro.core.selector.select_kernel`) predicts the best kernel
+   class; :data:`MODEL_FORMAT` maps that onto a host storage format,
+   which is kept alongside the always-cheap CSR baseline.  Matrix
+   statistics veto candidates the model cannot see — ELL on a
+   padding-explosive degree distribution is skipped before it can
+   allocate ``rows x max_degree`` storage.
+2. **Measure the survivors.**  Every surviving ``format x backend x
+   shard-count`` triple is timed with short real runs of the engine it
+   would actually use — the format's cached
+   :class:`~repro.exec.plan.SpMVPlan` for one shard, a
+   :class:`~repro.exec.ShardedExecutor` otherwise — warmup first, then
+   median-of-k.  Each measurement is a ``tuner.measure`` trace span and
+   a ``tuner.measure.seconds`` histogram sample.
+3. **Persist the decision** in the :class:`~repro.tuner.cache.TuningCache`
+   keyed by matrix fingerprint, environment and tuning options, so the
+   next process gets the same decision in O(1) with zero measurements.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import (
+    FormatNotApplicableError,
+    ValidationError,
+)
+from repro.formats.convert import FORMAT_BUILDERS, to_format
+from repro.gpu.spec import DeviceSpec
+from repro.obs import metrics as _metrics
+from repro.obs.trace import trace
+from repro.tuner.cache import TuningCache
+from repro.tuner.fingerprint import environment_key, matrix_fingerprint
+
+__all__ = [
+    "DEFAULT_REPEATS",
+    "DEFAULT_WARMUP",
+    "ELL_MAX_PADDING_RATIO",
+    "MODEL_FORMAT",
+    "TunedEngine",
+    "TuningDecision",
+    "candidate_grid",
+    "tune",
+]
+
+#: §5 kernel classes mapped onto the host storage format that realises
+#: them: the CSR-vector kernel runs off CSR arrays, ELL off the padded
+#: column-major layout, and the tile-composite kernel's CSR+ELL split
+#: is what HYB stores.
+MODEL_FORMAT = {
+    "csr-vector": "csr",
+    "ell": "ell",
+    "tile-composite": "hyb",
+}
+
+#: CSR is always measured — the universal baseline no model prediction
+#: is allowed to prune away.
+BASELINE_FORMAT = "csr"
+
+#: Skip the ELL candidate when padding would multiply storage by more
+#: than this: ``rows x max_degree`` on a power-law graph can exceed
+#: memory before the first measurement runs.
+ELL_MAX_PADDING_RATIO = 16.0
+
+DEFAULT_REPEATS = 5
+DEFAULT_WARMUP = 2
+
+#: Each timing sample batches enough runs to last at least this long:
+#: a single small-matrix SpMV sits at the scale of timer jitter and
+#: scheduler noise, and medians over such samples mis-rank candidates.
+MIN_SAMPLE_SECONDS = 2e-3
+
+
+def _count(name: str, **labels) -> None:
+    if _metrics._ENABLED:
+        _metrics.METRICS.inc(name, **labels)
+
+
+@dataclass
+class TuningDecision:
+    """Outcome of one tuning run: the winning configuration plus the
+    full measured candidate table for reporting."""
+
+    fingerprint: str
+    format: str
+    backend: str
+    n_shards: int
+    #: Median measured seconds per SpMV of the winning candidate.
+    seconds: float
+    #: The §5 model's kernel pick that seeded the grid (``None`` when
+    #: the format grid was caller-pinned and the model was bypassed).
+    model_kernel: str | None = None
+    #: Every candidate: ``{format, backend, n_shards, seconds}`` for
+    #: measured ones, ``{..., error}`` for skipped/failed ones.
+    candidates: list = field(default_factory=list)
+    #: Whether this decision was resolved from the persistent cache.
+    from_cache: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "format": self.format,
+            "backend": self.backend,
+            "n_shards": self.n_shards,
+            "seconds": self.seconds,
+            "model_kernel": self.model_kernel,
+            "candidates": list(self.candidates),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TuningDecision":
+        if payload.get("format") not in FORMAT_BUILDERS:
+            raise ValidationError(
+                f"decision names unknown format {payload.get('format')!r}"
+            )
+        n_shards = payload.get("n_shards")
+        if not isinstance(n_shards, int) or n_shards < 1:
+            raise ValidationError(
+                f"decision has invalid shard count {n_shards!r}"
+            )
+        return cls(
+            fingerprint=str(payload["fingerprint"]),
+            format=str(payload["format"]),
+            backend=str(payload["backend"]),
+            n_shards=n_shards,
+            seconds=float(payload["seconds"]),
+            model_kernel=payload.get("model_kernel"),
+            candidates=list(payload.get("candidates", [])),
+        )
+
+    def build_engine(self, matrix) -> "TunedEngine":
+        """Materialise the decided configuration for this matrix."""
+        return TunedEngine(matrix, self)
+
+
+class TunedEngine:
+    """The decided configuration, behind the engine ``spmv``/``spmm``
+    interface.
+
+    A single-shard decision rides the format's own cached plan (the
+    dispatch-free path); a multi-shard one owns a
+    :class:`~repro.exec.ShardedExecutor` on the converted matrix.
+    Context-manager exit (or :meth:`close`) releases the executor's
+    worker threads; closing a single-shard engine is a no-op.
+    """
+
+    def __init__(self, matrix, decision: TuningDecision) -> None:
+        from repro.exec.sharded import ShardedExecutor
+
+        self.decision = decision
+        self.shape = matrix.shape
+        self.formatted = to_format(matrix, decision.format)
+        if decision.n_shards == 1:
+            self._plan = self.formatted.spmv_plan(decision.backend)
+            self._executor = None
+        else:
+            self._plan = None
+            self._executor = ShardedExecutor(
+                self.formatted,
+                decision.n_shards,
+                backend=decision.backend,
+            )
+
+    @property
+    def n_shards(self) -> int:
+        return self.decision.n_shards
+
+    @property
+    def nnz(self) -> int:
+        return self.formatted.nnz
+
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        if self._executor is not None:
+            return self._executor.spmv(x, out=out)
+        return self._plan.execute(x, out=out)
+
+    def spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        if self._executor is not None:
+            return self._executor.spmm(X, out=out)
+        return self._plan.execute_many(X, out=out)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "TunedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        d = self.decision
+        return (
+            f"TunedEngine(format={d.format!r}, backend={d.backend!r}, "
+            f"n_shards={d.n_shards})"
+        )
+
+
+def _pruned_formats(
+    matrix, device: DeviceSpec, table
+) -> tuple[list[str], str | None, dict[str, str]]:
+    """Model-seeded format shortlist: the §5 pick plus the CSR
+    baseline, with statistics-based vetoes recorded per format."""
+    from repro.core.selector import select_kernel
+
+    skipped: dict[str, str] = {}
+    choice = select_kernel(matrix, device, table=table)
+    formats = [BASELINE_FORMAT]
+    picked = MODEL_FORMAT.get(choice.kernel)
+    if picked and picked not in formats:
+        formats.append(picked)
+    if "ell" in formats and matrix.nnz:
+        lengths = matrix.row_lengths()
+        padded = int(lengths.max()) * matrix.n_rows
+        ratio = padded / matrix.nnz
+        if ratio > ELL_MAX_PADDING_RATIO:
+            formats.remove("ell")
+            skipped["ell"] = (
+                f"padding ratio {ratio:.1f} exceeds "
+                f"{ELL_MAX_PADDING_RATIO:g}"
+            )
+    return formats, choice.kernel, skipped
+
+
+def candidate_grid(
+    matrix,
+    device: DeviceSpec | None = None,
+    *,
+    formats: tuple | list | None = None,
+    backends: tuple | list | None = None,
+    shard_counts: tuple | list | None = None,
+    table=None,
+) -> tuple[list[tuple[str, str, int]], dict]:
+    """The pruned ``format x backend x shard-count`` grid.
+
+    Returns the candidate triples plus a meta dict recording the model
+    kernel that seeded the pruning and any statistics-based skips.
+    Caller-pinned ``formats`` bypass the model entirely.
+    """
+    from repro.exec.backends import (
+        available_backends,
+        default_backend_name,
+    )
+    from repro.exec.sharded import auto_shard_count
+
+    device = device or DeviceSpec.tesla_c1060()
+    model_kernel: str | None = None
+    skipped: dict[str, str] = {}
+    if formats is None:
+        format_list, model_kernel, skipped = _pruned_formats(
+            matrix, device, table
+        )
+    else:
+        format_list = [str(f).lower() for f in formats]
+        for name in format_list:
+            if name not in FORMAT_BUILDERS:
+                raise ValidationError(
+                    f"unknown format {name!r}; expected one of "
+                    f"{sorted(FORMAT_BUILDERS)}"
+                )
+    if backends is not None:
+        backend_list = [str(b) for b in backends]
+    elif os.environ.get("REPRO_SPMV_BACKEND"):
+        # An explicit backend override is a *forced* choice — honour
+        # it rather than measuring backends the user ruled out.
+        backend_list = [default_backend_name()]
+    else:
+        backend_list = list(available_backends())
+    if shard_counts is None:
+        shard_list = sorted({1, auto_shard_count(matrix.nnz)})
+    else:
+        shard_list = sorted({int(s) for s in shard_counts})
+        if shard_list and shard_list[0] < 1:
+            raise ValidationError("shard counts must be >= 1")
+    candidates = [
+        (fmt, backend, n_shards)
+        for fmt in format_list
+        for backend in backend_list
+        for n_shards in shard_list
+    ]
+    meta = {"model_kernel": model_kernel, "skipped": skipped}
+    return candidates, meta
+
+
+def _measure(
+    matrix,
+    fmt: str,
+    backend: str,
+    n_shards: int,
+    x: np.ndarray,
+    out: np.ndarray,
+    *,
+    warmup: int,
+    repeats: int,
+) -> float:
+    """Median wall seconds of one real-SpMV candidate run."""
+    from repro.exec.sharded import ShardedExecutor
+
+    formatted = to_format(matrix, fmt)
+    executor = None
+    try:
+        if n_shards == 1:
+            plan = formatted.spmv_plan(backend)
+
+            def run() -> None:
+                plan.execute(x, out=out)
+
+        else:
+            executor = ShardedExecutor(
+                formatted, n_shards, backend=backend
+            )
+
+            def run() -> None:
+                executor.spmv(x, out=out)
+
+        for _ in range(warmup):
+            run()
+        # Calibrate the per-sample batch size so each sample outweighs
+        # timer granularity and scheduling noise.
+        tick = time.perf_counter()
+        run()
+        once = time.perf_counter() - tick
+        inner = max(
+            1, min(1024, int(MIN_SAMPLE_SECONDS / max(once, 1e-9)))
+        )
+        samples = []
+        for _ in range(repeats):
+            tick = time.perf_counter()
+            for _ in range(inner):
+                run()
+            samples.append((time.perf_counter() - tick) / inner)
+    finally:
+        if executor is not None:
+            executor.close()
+    return statistics.median(samples)
+
+
+def _normalise_options(
+    formats, backends, shard_counts, repeats: int, warmup: int
+) -> dict:
+    """JSON-stable record of the tuning constraints — part of the
+    cache key, so a decision measured over one grid is never replayed
+    for a different one."""
+
+    def aslist(value):
+        return None if value is None else [str(v) for v in value]
+
+    return {
+        "formats": aslist(formats),
+        "backends": aslist(backends),
+        "shard_counts": (
+            None
+            if shard_counts is None
+            else sorted(int(s) for s in shard_counts)
+        ),
+        "repeats": int(repeats),
+        "warmup": int(warmup),
+    }
+
+
+def tune(
+    matrix,
+    *,
+    device: DeviceSpec | None = None,
+    formats: tuple | list | None = None,
+    backends: tuple | list | None = None,
+    shard_counts: tuple | list | None = None,
+    repeats: int = DEFAULT_REPEATS,
+    warmup: int = DEFAULT_WARMUP,
+    cache: TuningCache | str | None = "env",
+    use_cache: bool = True,
+    force: bool = False,
+    table=None,
+) -> TuningDecision:
+    """Pick (and persist) the fastest execution configuration.
+
+    Parameters
+    ----------
+    matrix:
+        Any :class:`~repro.formats.base.SparseMatrix`.
+    formats, backends, shard_counts:
+        Pin parts of the candidate grid; ``None`` means the pruned
+        default (model-seeded formats, every available backend, shard
+        counts 1 and the auto policy's pick).
+    repeats, warmup:
+        Median-of-``repeats`` timed runs after ``warmup`` unmeasured
+        ones, per candidate.
+    cache:
+        A :class:`TuningCache`, a path, ``None`` to disable persistence
+        for this call, or ``"env"`` (default) to follow
+        ``REPRO_TUNER_CACHE``.
+    force:
+        Re-measure even when a fresh cached decision exists (the new
+        decision overwrites the cached one).
+    """
+    if repeats < 1:
+        raise ValidationError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValidationError(f"warmup must be >= 0, got {warmup}")
+    device = device or DeviceSpec.tesla_c1060()
+    if not isinstance(cache, TuningCache):
+        cache = TuningCache(cache)
+    fingerprint = matrix_fingerprint(matrix)
+    environment = environment_key()
+    options = _normalise_options(
+        formats, backends, shard_counts, repeats, warmup
+    )
+
+    if use_cache and not force:
+        hit = cache.get(fingerprint, environment, options)
+        if hit is not None:
+            try:
+                decision = TuningDecision.from_dict(hit)
+            except (KeyError, TypeError, ValueError, ValidationError):
+                _count("tuner.cache.corrupt", reason="decision")
+            else:
+                if decision.fingerprint == fingerprint:
+                    decision.from_cache = True
+                    _count("tuner.decisions", source="cache")
+                    return decision
+                _count("tuner.cache.stale")
+
+    candidates, meta = candidate_grid(
+        matrix,
+        device,
+        formats=formats,
+        backends=backends,
+        shard_counts=shard_counts,
+        table=table,
+    )
+    rng = np.random.default_rng(0)
+    x = rng.random(matrix.n_cols)
+    out = np.empty(matrix.n_rows)
+    rows: list[dict] = []
+    best: dict | None = None
+    with trace(
+        "tuner.tune", fingerprint=fingerprint, candidates=len(candidates)
+    ):
+        for fmt, backend, n_shards in candidates:
+            record = {
+                "format": fmt, "backend": backend, "n_shards": n_shards,
+            }
+            reason = meta["skipped"].get(fmt)
+            if reason is not None:  # pragma: no cover - defensive
+                record["error"] = reason
+                rows.append(record)
+                continue
+            try:
+                with trace(
+                    "tuner.measure",
+                    format=fmt, backend=backend, n_shards=n_shards,
+                ):
+                    seconds = _measure(
+                        matrix, fmt, backend, n_shards, x, out,
+                        warmup=warmup, repeats=repeats,
+                    )
+            except FormatNotApplicableError as exc:
+                record["error"] = str(exc)
+                rows.append(record)
+                continue
+            record["seconds"] = seconds
+            rows.append(record)
+            if _metrics._ENABLED:
+                _metrics.METRICS.observe(
+                    "tuner.measure.seconds", seconds,
+                    format=fmt, backend=backend, n_shards=n_shards,
+                )
+            if best is None or seconds < best["seconds"]:
+                best = record
+        for fmt, reason in meta["skipped"].items():
+            rows.append({"format": fmt, "error": reason})
+    if best is None:
+        raise ValidationError(
+            "no tunable candidate survived measurement: "
+            + "; ".join(
+                f"{r['format']}: {r.get('error', '?')}" for r in rows
+            )
+        )
+    decision = TuningDecision(
+        fingerprint=fingerprint,
+        format=best["format"],
+        backend=best["backend"],
+        n_shards=best["n_shards"],
+        seconds=best["seconds"],
+        model_kernel=meta["model_kernel"],
+        candidates=rows,
+    )
+    if use_cache:
+        cache.put(fingerprint, environment, options, decision.to_dict())
+    _count("tuner.decisions", source="measured")
+    return decision

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.autotune import (
     autotune,
@@ -174,3 +176,119 @@ class TestAutotune:
         measured = kernel.cost().time_seconds
         predicted = tuned.predicted_seconds
         assert predicted == pytest.approx(measured, rel=0.35)
+
+
+class _ScriptedTable:
+    """Stand-in lookup table replaying scripted (possibly degenerate)
+    throughput scores — ``NaN``, ``inf``, zero or negative — to model a
+    corrupted or pathological offline benchmark."""
+
+    def __init__(self, scores):
+        self._scores = list(scores)
+        self._calls = 0
+
+    def performance(self, *args, **kwargs):
+        score = self._scores[self._calls % len(self._scores)]
+        self._calls += 1
+        return score
+
+
+class TestDegenerateScoreTables:
+    """Regression tests: Algorithm 2 must never emit the unusable
+    ``workload_size=0`` sentinel, whatever the score table predicts."""
+
+    @pytest.fixture(scope="class")
+    def lengths(self):
+        return np.sort(
+            np.random.default_rng(3).integers(1, 40, 1500)
+        )[::-1]
+
+    def test_all_nan_falls_back_to_first_candidate(self, dev, lengths):
+        # A NaN throughput score is excluded by the model's p > 0
+        # guard, and a NaN *time* is rejected by the running minimum;
+        # either way the fallback must be the first feasible candidate.
+        size, seconds = partition_tile(
+            lengths, dev, _ScriptedTable([float("nan")])
+        )
+        candidates = workload_candidates(lengths, dev)
+        assert size == candidates[0]
+        assert size >= int(lengths[0]) > 0
+        assert not np.isnan(seconds)
+
+    def test_all_inf_returns_feasible_size(self, dev, lengths):
+        # An infinite throughput score predicts a zero time for every
+        # candidate; the tie must resolve to a feasible candidate.
+        size, _seconds = partition_tile(
+            lengths, dev, _ScriptedTable([float("inf")])
+        )
+        assert size in workload_candidates(lengths, dev)
+        assert size >= int(lengths[0]) > 0
+
+    def test_nan_candidates_never_win(self, dev, lengths):
+        # Scores alternate NaN / finite; a NaN time must lose to any
+        # finite one instead of poisoning the running minimum.
+        table = _ScriptedTable([float("nan"), 1e9])
+        size, seconds = partition_tile(lengths, dev, table)
+        assert size in workload_candidates(lengths, dev)
+        assert np.isfinite(seconds) or seconds == np.inf
+
+    @given(
+        scores=st.lists(
+            st.one_of(
+                st.sampled_from(
+                    [float("nan"), float("inf"), 0.0, -1.0]
+                ),
+                st.floats(
+                    min_value=1e-9,
+                    max_value=1e9,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_always_feasible(self, dev, lengths, scores):
+        size, _seconds = partition_tile(
+            lengths, dev, _ScriptedTable(scores)
+        )
+        assert size in workload_candidates(lengths, dev)
+        assert size >= int(lengths[0]) > 0
+
+    def test_autotune_survives_nan_table(self, graph, dev):
+        result = autotune(
+            graph, dev, table=_ScriptedTable([float("nan")])
+        )
+        assert all(s > 0 for s in result.workload_sizes)
+        if result.remainder_workload_size is not None:
+            assert result.remainder_workload_size > 0
+        # The fallback sizes must still build a correct kernel.
+        kernel = create(
+            "tile-composite", graph, device=dev,
+            **result.as_build_kwargs(),
+        )
+        x = np.ones(graph.n_cols)
+        np.testing.assert_allclose(
+            kernel.spmv(x), graph.spmv(x), atol=1e-9
+        )
+
+    def test_exhaustive_search_nan_costs_fall_back(
+        self, dev, monkeypatch
+    ):
+        from repro.kernels import tile_composite as tc
+
+        class _NaNCost:
+            time_seconds = float("nan")
+
+        monkeypatch.setattr(
+            tc, "composite_tile_cost", lambda tile, device: _NaNCost()
+        )
+        small = chung_lu_graph(400, 3_000, exponent=2.1, seed=5)
+        result = exhaustive_search(
+            small, dev, max_tiles=1, max_candidates=4
+        )
+        assert all(s > 0 for s in result.workload_sizes)
+        if result.remainder_workload_size is not None:
+            assert result.remainder_workload_size > 0

@@ -4,12 +4,15 @@ import numpy as np
 import pytest
 
 from repro.core.lookup import LookupTable
+from repro.core.perf_model import predict_workloads_seconds
 from repro.core.preprocess import transform_cost
 from repro.core.selector import (
     SELECTABLE,
+    _uniform_workloads,
     predict_kernel_seconds,
     select_kernel,
 )
+from repro.core.workload import STORAGE_ELL
 from repro.errors import ValidationError
 from repro.formats.coo import COOMatrix
 from repro.graphs.chung_lu import chung_lu_graph
@@ -199,3 +202,80 @@ class TestOutOfCore:
             matrix, cluster, kernel="hyb", check_memory=False
         )
         assert distributed.iteration_seconds < chunked.iteration_seconds
+
+
+def _padded_area_ell_seconds(matrix, device, table):
+    """The pre-fix ELL prediction: every padding slot billed as a
+    stored nonzero (padded-area accounting).  Kept here as the
+    regression baseline the true-nnz accounting is compared against."""
+    lengths = matrix.row_lengths()
+    lengths = lengths[lengths > 0]
+    max_len = int(lengths.max())
+    n_groups = -(-lengths.size // device.warp_size)
+    heights = np.full(n_groups, device.warp_size, dtype=np.int64)
+    heights[-1] = lengths.size - device.warp_size * (n_groups - 1)
+    workloads = _uniform_workloads(
+        np.full(n_groups, max_len, dtype=np.int64),
+        heights, STORAGE_ELL, device,
+    )
+    return predict_workloads_seconds(
+        workloads, table, device, cached=False
+    )
+
+
+class TestSelectorRegressions:
+    """Regressions for the ELL padded-area mis-prediction and for
+    error reporting in :func:`select_kernel`."""
+
+    def test_ell_prediction_uses_true_nnz(self, dev, table):
+        # On a skewed power-law graph the hub row forces a huge padded
+        # rectangle; billing the padding as nonzeros inflated the old
+        # ELL prediction several-fold.
+        matrix = chung_lu_graph(3000, 30_000, exponent=2.0, seed=74)
+        old = _padded_area_ell_seconds(matrix, dev, table)
+        new = predict_kernel_seconds("ell", matrix, dev, table=table)
+        assert new < old / 2
+
+    def test_true_nnz_flips_ell_ranking(self, dev, table):
+        # Near-uniform short rows (where ELL genuinely wins) plus one
+        # mildly longer row: the padded-area accounting made ELL lose
+        # to CSR-vector, the true-nnz accounting restores the win.
+        rng = np.random.default_rng(42)
+        n_rows, base, spike = 1024, 4, 16
+        rows, cols = [], []
+        for r in range(n_rows):
+            k = spike if r == 0 else base
+            rows.extend([r] * k)
+            cols.extend(rng.choice(n_rows, size=k, replace=False))
+        matrix = COOMatrix.from_unsorted(
+            np.asarray(rows), np.asarray(cols),
+            np.ones(len(rows)), (n_rows, n_rows),
+        )
+        old_ell = _padded_area_ell_seconds(matrix, dev, table)
+        new_ell = predict_kernel_seconds("ell", matrix, dev, table=table)
+        csr_vec = predict_kernel_seconds(
+            "csr-vector", matrix, dev, table=table
+        )
+        assert old_ell > csr_vec  # the old accounting rejected ELL
+        assert new_ell < csr_vec  # the fix restores the true ranking
+        choice = select_kernel(
+            matrix, dev, candidates=("csr-vector", "ell"), table=table
+        )
+        assert choice.kernel == "ell"
+
+    def test_failed_candidate_recorded_not_dropped(self, dev, table):
+        matrix = chung_lu_graph(500, 3000, seed=78)
+        choice = select_kernel(
+            matrix, dev, candidates=("csr-vector", "hyb"), table=table
+        )
+        assert choice.kernel == "csr-vector"
+        assert isinstance(choice.predictions["hyb"], dict)
+        assert "error" in choice.predictions["hyb"]
+
+    def test_all_candidates_failing_chains_cause(self, dev, table):
+        matrix = chung_lu_graph(500, 3000, seed=79)
+        with pytest.raises(ValidationError) as excinfo:
+            select_kernel(
+                matrix, dev, candidates=("hyb", "dia"), table=table
+            )
+        assert isinstance(excinfo.value.__cause__, ValidationError)

@@ -51,6 +51,47 @@ class TestMatrixMarket:
         assert dense[2, 2] == 7.0
         assert m.nnz == 3
 
+    def test_pattern_roundtrip_bitwise(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "4 3 3\n1 2\n3 1\n4 3\n"
+        )
+        m = read_matrix_market(path)
+        out = tmp_path / "p_out.mtx"
+        write_matrix_market(m, out)
+        again = read_matrix_market(out)
+        assert again.shape == m.shape
+        assert np.array_equal(again.rows, m.rows)
+        assert np.array_equal(again.cols, m.cols)
+        assert np.array_equal(again.data, m.data)
+
+    def test_symmetric_roundtrip_bitwise(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n2 1 5.25\n3 3 7.125\n3 2 0.30000000000000004\n"
+        )
+        m = read_matrix_market(path)
+        out = tmp_path / "s_out.mtx"
+        # The writer emits the *expanded* general form; reading it back
+        # must reproduce every entry bitwise (%.17g round-trips float64).
+        write_matrix_market(m, out)
+        again = read_matrix_market(out)
+        assert again.shape == m.shape
+        assert np.array_equal(again.rows, m.rows)
+        assert np.array_equal(again.cols, m.cols)
+        assert np.array_equal(again.data, m.data)
+
+    def test_write_roundtrip_bitwise_random(self, tmp_path):
+        m = random_coo(40, 33, 200, seed=9)
+        path = tmp_path / "r.mtx"
+        write_matrix_market(m, path)
+        again = read_matrix_market(path)
+        assert np.array_equal(again.rows, m.rows)
+        assert np.array_equal(again.cols, m.cols)
+        assert np.array_equal(again.data, m.data)
+
     def test_comments_skipped(self, tmp_path):
         path = tmp_path / "c.mtx"
         path.write_text(

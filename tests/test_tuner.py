@@ -1,0 +1,356 @@
+"""Tests of the measured auto-tuner (``repro.tuner``).
+
+The contracts under test:
+
+* **Determinism** — the same matrix always fingerprints identically,
+  and with a shared cache the second ``tune()`` call returns the
+  identical decision with *zero* measurement runs (asserted on both
+  the ``tuner.cache.hits`` counter and the absence of new
+  ``tuner.measure`` trace spans).
+* **Correctness** — whatever configuration wins, the built engine's
+  ``spmv``/``spmm`` match the dense reference bitwise against the
+  single-plan path's guarantees.
+* **Resilience** — corrupt cache files, stale (environment-mismatched)
+  entries and disabled caches all fall back to measurement without
+  raising.
+"""
+
+import json
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.exec.sharded import ShardedExecutor
+from repro.formats.convert import FORMAT_BUILDERS
+from repro.graphs.rmat import rmat_graph
+from repro.mining.pagerank import pagerank
+from repro.obs import metrics as metrics_mod
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACE
+from repro.tuner import (
+    TuningCache,
+    TuningDecision,
+    candidate_grid,
+    default_cache_path,
+    environment_key,
+    matrix_fingerprint,
+    resolve_cache_path,
+    tune,
+)
+from repro.tuner.cache import CACHE_ENV
+
+from tests.conftest import random_coo
+
+
+@contextmanager
+def obs():
+    """Enable observability with clean registries; restore after."""
+    prior = metrics_mod.enabled()
+    metrics_mod.enable()
+    METRICS.reset()
+    TRACE.reset()
+    try:
+        yield
+    finally:
+        (metrics_mod.enable if prior else metrics_mod.disable)()
+        METRICS.reset()
+        TRACE.reset()
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the default cache at a per-test file — the suite must
+    never read or write the developer's real ~/.cache entry."""
+    monkeypatch.setenv(CACHE_ENV, str(tmp_path / "tuner_cache.json"))
+    return tmp_path / "tuner_cache.json"
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return rmat_graph(512, 4096, seed=11)
+
+
+def quick_tune(matrix, **kwargs):
+    kwargs.setdefault("repeats", 1)
+    kwargs.setdefault("warmup", 0)
+    return tune(matrix, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints and environment keys
+# ----------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_deterministic_across_builds(self):
+        a = rmat_graph(256, 2048, seed=5)
+        b = rmat_graph(256, 2048, seed=5)
+        assert a is not b
+        assert matrix_fingerprint(a) == matrix_fingerprint(b)
+
+    def test_sensitive_to_structure(self):
+        base = rmat_graph(256, 2048, seed=5)
+        other_seed = rmat_graph(256, 2048, seed=6)
+        other_shape = rmat_graph(512, 2048, seed=5)
+        assert matrix_fingerprint(base) != matrix_fingerprint(other_seed)
+        assert matrix_fingerprint(base) != matrix_fingerprint(other_shape)
+
+    def test_distinguishes_transpose(self):
+        m = random_coo(64, 64, 300, seed=3)
+        from repro.formats.coo import COOMatrix
+
+        t = COOMatrix.from_unsorted(
+            m.cols, m.rows, m.data, (m.n_cols, m.n_rows)
+        )
+        # Same shape, nnz and value set; mirrored degree histograms.
+        if not np.array_equal(
+            np.bincount(m.row_lengths()), np.bincount(m.col_lengths())
+        ):
+            assert matrix_fingerprint(m) != matrix_fingerprint(t)
+
+    def test_environment_key_is_json_stable(self):
+        key = environment_key()
+        assert key == json.loads(json.dumps(key))
+        assert key["cpu_count"] >= 1
+        assert "numpy" in key
+
+
+# ----------------------------------------------------------------------
+# Cache path resolution
+# ----------------------------------------------------------------------
+
+
+class TestCachePath:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "custom.json"))
+        assert resolve_cache_path() == tmp_path / "custom.json"
+
+    @pytest.mark.parametrize(
+        "value", ["off", "0", "none", "disabled", "OFF", " Disabled "]
+    )
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(CACHE_ENV, value)
+        assert resolve_cache_path() is None
+        assert not TuningCache().enabled
+
+    def test_default_is_xdg_aware(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_path() == (
+            tmp_path / "xdg" / "repro" / "tuner_cache.json"
+        )
+        assert resolve_cache_path() == default_cache_path()
+
+
+# ----------------------------------------------------------------------
+# The candidate grid
+# ----------------------------------------------------------------------
+
+
+class TestCandidateGrid:
+    def test_model_seeded_grid_keeps_csr_baseline(self, matrix):
+        candidates, meta = candidate_grid(matrix)
+        formats = {fmt for fmt, _b, _s in candidates}
+        assert "csr" in formats
+        assert meta["model_kernel"] in (
+            "csr-vector", "ell", "tile-composite"
+        )
+
+    def test_pinned_formats_bypass_model(self, matrix):
+        candidates, meta = candidate_grid(matrix, formats=("coo",))
+        assert {fmt for fmt, _b, _s in candidates} == {"coo"}
+        assert meta["model_kernel"] is None
+
+    def test_rejects_unknown_format(self, matrix):
+        with pytest.raises(ValidationError):
+            candidate_grid(matrix, formats=("bogus",))
+
+    def test_rejects_bad_shard_count(self, matrix):
+        with pytest.raises(ValidationError):
+            candidate_grid(matrix, shard_counts=(0,))
+
+
+# ----------------------------------------------------------------------
+# Tuning decisions and engines
+# ----------------------------------------------------------------------
+
+
+class TestTune:
+    def test_decision_is_valid_and_engine_correct(self, matrix):
+        decision = quick_tune(matrix)
+        assert decision.format in FORMAT_BUILDERS
+        assert decision.n_shards >= 1
+        assert decision.seconds > 0
+        assert not decision.from_cache
+        measured = [c for c in decision.candidates if "seconds" in c]
+        assert len(measured) >= 1
+        x = np.random.default_rng(2).random(matrix.n_cols)
+        reference = matrix.to_dense() @ x
+        with decision.build_engine(matrix) as engine:
+            np.testing.assert_allclose(engine.spmv(x), reference)
+            X = np.column_stack([x, 2.0 * x])
+            Y = engine.spmm(X)
+            np.testing.assert_allclose(Y[:, 0], engine.spmv(x))
+
+    def test_deterministic_via_cache(self, matrix):
+        first = quick_tune(matrix)
+        second = quick_tune(matrix)
+        assert matrix_fingerprint(matrix) == first.fingerprint
+        assert second.from_cache
+        assert second.to_dict() == first.to_dict()
+
+    def test_cache_hit_skips_all_measurement(self, matrix):
+        with obs():
+            quick_tune(matrix)
+            assert len(TRACE.find("tuner.measure")) >= 1
+            METRICS.reset()
+            TRACE.reset()
+            decision = quick_tune(matrix)
+            assert decision.from_cache
+            assert METRICS.counter_total("tuner.cache.hits") == 1
+            assert TRACE.find("tuner.measure") == []
+            assert (
+                METRICS.counter("tuner.decisions", source="cache") == 1
+            )
+
+    def test_force_remeasures(self, matrix):
+        quick_tune(matrix)
+        forced = quick_tune(matrix, force=True)
+        assert not forced.from_cache
+
+    def test_different_options_do_not_share_entries(self, matrix):
+        quick_tune(matrix)
+        other = quick_tune(matrix, formats=("csr",))
+        assert not other.from_cache
+
+    def test_rejects_bad_budget(self, matrix):
+        with pytest.raises(ValidationError):
+            tune(matrix, repeats=0)
+        with pytest.raises(ValidationError):
+            tune(matrix, warmup=-1)
+
+
+class TestCacheResilience:
+    def test_corrupt_file_falls_back_to_measurement(
+        self, matrix, isolated_cache
+    ):
+        quick_tune(matrix)
+        isolated_cache.write_text("{ not json")
+        with obs():
+            decision = quick_tune(matrix)
+            assert not decision.from_cache
+            assert METRICS.counter_total("tuner.cache.corrupt") >= 1
+        # The re-tune healed the file: next call hits again.
+        assert quick_tune(matrix).from_cache
+
+    def test_corrupt_entry_falls_back(self, matrix, isolated_cache):
+        quick_tune(matrix)
+        payload = json.loads(isolated_cache.read_text())
+        fingerprint = matrix_fingerprint(matrix)
+        payload["entries"][fingerprint]["decision"] = "garbage"
+        isolated_cache.write_text(json.dumps(payload))
+        assert not quick_tune(matrix).from_cache
+
+    def test_version_mismatch_is_stale(self, matrix, isolated_cache):
+        quick_tune(matrix)
+        payload = json.loads(isolated_cache.read_text())
+        fingerprint = matrix_fingerprint(matrix)
+        entry = payload["entries"][fingerprint]
+        entry["environment"]["numpy"] = "0.0.1"
+        isolated_cache.write_text(json.dumps(payload))
+        with obs():
+            decision = quick_tune(matrix)
+            assert not decision.from_cache
+            assert METRICS.counter_total("tuner.cache.stale") == 1
+
+    def test_schema_version_mismatch_orphans_file(
+        self, matrix, isolated_cache
+    ):
+        quick_tune(matrix)
+        payload = json.loads(isolated_cache.read_text())
+        payload["version"] = 999
+        isolated_cache.write_text(json.dumps(payload))
+        assert not quick_tune(matrix).from_cache
+
+    def test_disabled_cache_never_persists(
+        self, matrix, monkeypatch, isolated_cache
+    ):
+        monkeypatch.setenv(CACHE_ENV, "off")
+        decision = quick_tune(matrix)
+        assert not decision.from_cache
+        assert not quick_tune(matrix).from_cache
+        assert not isolated_cache.exists()
+
+    def test_atomic_write_leaves_no_temp_files(
+        self, matrix, isolated_cache
+    ):
+        quick_tune(matrix)
+        leftovers = list(isolated_cache.parent.glob("*.tmp.*"))
+        assert leftovers == []
+        json.loads(isolated_cache.read_text())  # well-formed
+
+
+class TestDecisionSerialisation:
+    def test_round_trip(self, matrix):
+        decision = quick_tune(matrix)
+        again = TuningDecision.from_dict(decision.to_dict())
+        assert again.to_dict() == decision.to_dict()
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(ValidationError):
+            TuningDecision.from_dict({
+                "fingerprint": "x", "format": "bogus",
+                "backend": "numpy", "n_shards": 1, "seconds": 1.0,
+            })
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValidationError):
+            TuningDecision.from_dict({
+                "fingerprint": "x", "format": "csr",
+                "backend": "numpy", "n_shards": 0, "seconds": 1.0,
+            })
+
+
+# ----------------------------------------------------------------------
+# Integration: tuned_plan, mining tune=, sharded "tuned"
+# ----------------------------------------------------------------------
+
+
+class TestIntegration:
+    def test_tuned_plan_caches_engine(self):
+        m = random_coo(200, 200, 1500, seed=4)
+        engine = m.tuned_plan(repeats=1, warmup=0)
+        assert engine is m.tuned_plan(repeats=1, warmup=0)
+        x = np.random.default_rng(0).random(m.n_cols)
+        np.testing.assert_allclose(engine.spmv(x), m.to_dense() @ x)
+
+    def test_sharded_executor_tuned(self, matrix):
+        with ShardedExecutor(matrix, "tuned") as executor:
+            assert executor.n_shards >= 1
+            x = np.random.default_rng(1).random(matrix.n_cols)
+            np.testing.assert_array_equal(
+                executor.spmv(x), matrix.spmv(x)
+            )
+
+    def test_pagerank_tune_matches_untuned(self, matrix):
+        tuned = pagerank(matrix, tune=True, tol=1e-6)
+        plain = pagerank(matrix, tol=1e-6)
+        # The tuner may pick a different format/backend than the plain
+        # run, so reduction order — and therefore the last ulp — can
+        # differ; equality is only up to floating-point associativity.
+        np.testing.assert_allclose(
+            tuned.vector, plain.vector, rtol=1e-9, atol=1e-12
+        )
+        assert tuned.extra["n_shards"] >= 1
+
+    def test_tune_conflicts_with_explicit_engine(self, matrix):
+        with pytest.raises(ValidationError):
+            pagerank(matrix, tune=True, n_shards=2)
+        executor = ShardedExecutor(matrix, 1)
+        try:
+            with pytest.raises(ValidationError):
+                pagerank(matrix, tune=True, executor=executor)
+        finally:
+            executor.close()
