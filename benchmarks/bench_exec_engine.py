@@ -30,6 +30,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from harness import bench_header  # noqa: E402
 from repro.exec.backends import default_backend_name  # noqa: E402
 from repro.exec.plan import PLAN_CACHE_STATS  # noqa: E402
 from repro.formats.csr import CSRMatrix  # noqa: E402
@@ -172,6 +173,7 @@ def run(quick: bool) -> dict:
     speedup = legacy_seconds / engine_seconds if engine_seconds else float("inf")
     result = {
         "benchmark": "exec_engine",
+        "host": bench_header(),
         "graph": {
             "generator": "rmat",
             "n_nodes": nodes,

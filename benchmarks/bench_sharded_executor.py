@@ -35,6 +35,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from harness import bench_header  # noqa: E402
 from repro.exec.backends import default_backend_name  # noqa: E402
 from repro.exec.sharded import (  # noqa: E402
     AUTO_MIN_NNZ_PER_SHARD,
@@ -211,6 +212,7 @@ def run(quick: bool) -> tuple[dict, list[str]]:
 
     result = {
         "benchmark": "sharded_executor",
+        "host": bench_header(),
         "graph": {
             "generator": "rmat",
             "n_nodes": nodes,

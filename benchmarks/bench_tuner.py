@@ -29,6 +29,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from harness import bench_header  # noqa: E402
 from repro.exec.backends import available_backends  # noqa: E402
 from repro.exec.sharded import ShardedExecutor, auto_shard_count  # noqa: E402
 from repro.formats.convert import to_format  # noqa: E402
@@ -165,6 +166,7 @@ def run_benchmark(quick: bool) -> dict:
     }
     return {
         "benchmark": "tuner",
+        "host": bench_header(),
         "quick": quick,
         "graph": {
             "generator": "rmat",

@@ -16,6 +16,8 @@ is the reproduction target and is what EXPERIMENTS.md records.
 from __future__ import annotations
 
 import functools
+import os
+import platform
 from pathlib import Path
 
 import numpy as np
@@ -54,6 +56,32 @@ FIG2_KERNELS = [
 MINING_KERNELS = ["cpu-csr", "coo", "hyb", "tile-coo", "tile-composite"]
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_header() -> dict:
+    """Host descriptor stamped into every ``BENCH_*.json`` payload.
+
+    Wall-clock numbers from heterogeneous runners are meaningless
+    without the hardware context: the raw core count *and* the affinity
+    mask (a CPU-limited container reports the machine's cores but may
+    run on one), plus whether the numba JIT toolchain was present —
+    these are exactly the facts needed to interpret a
+    ``hardware_limited`` flag or a native-vs-numpy speedup later.
+    """
+    from repro.exec.native import native_available, numba_versions
+    from repro.exec.sharded import available_cpu_count
+
+    versions = numba_versions()
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "cpu_affinity": available_cpu_count(),
+        "numpy": np.__version__,
+        "numba": versions["numba"],
+        "llvmlite": versions["llvmlite"],
+        "native_available": native_available(),
+    }
 
 
 @functools.lru_cache(maxsize=None)

@@ -12,10 +12,19 @@ The numerical path of every format and kernel runs through this layer:
 ``repro.exec.backends``
     The backend registry: the native ``numpy`` backend plus an optional
     auto-detected ``scipy`` backend (cross-check and fast path).
+``repro.exec.native``
+    Optional numba-JIT ``native`` backend — ``nogil`` CSR row-split,
+    ELL and segmented-reduce kernels; falls back to ``numpy`` when
+    numba is absent.
 ``repro.exec.sharded``
     :class:`ShardedExecutor` — the paper's §3.2 row sharding run as
-    real parallel work on a persistent thread pool, bit-identical to
-    the single-shard path.
+    real parallel work on a persistent thread pool
+    (``mode="thread"``) or shared-memory worker processes
+    (``mode="process"``), bit-identical to the single-shard path,
+    with optional measured adaptive re-chunking.
+``repro.exec.procpool``
+    :class:`ProcessShardPool` — the persistent worker processes and
+    shared-memory segments behind ``mode="process"``.
 
 Typical use goes through the matrix API rather than this package::
 
@@ -45,11 +54,22 @@ from repro.exec.backends import (
     register_backend,
     set_default_backend,
 )
+from repro.exec.native import (
+    NativeBackend,
+    native_available,
+    numba_versions,
+    row_splits,
+)
+from repro.exec.procpool import ProcessShardPool
 from repro.exec.sharded import (
     AUTO_MIN_NNZ_PER_SHARD,
+    SHARD_MODES,
+    ReshardPolicy,
     ShardedExecutor,
     auto_shard_count,
+    available_cpu_count,
     env_shard_count,
+    env_shard_mode,
 )
 from repro.exec.plan import (
     PLAN_CACHE_STATS,
@@ -77,9 +97,13 @@ __all__ = [
     "DIAPlan",
     "ELLPlan",
     "HYBPlan",
+    "NativeBackend",
     "NumpyBackend",
     "PKTPlan",
     "PlanCacheStats",
+    "ProcessShardPool",
+    "ReshardPolicy",
+    "SHARD_MODES",
     "ScipyBackend",
     "ShardedExecutor",
     "SpMVPlan",
@@ -88,11 +112,16 @@ __all__ = [
     "WorkspacePool",
     "auto_shard_count",
     "available_backends",
+    "available_cpu_count",
     "build_plan",
     "configure_from_env",
     "default_backend_name",
     "env_shard_count",
+    "env_shard_mode",
     "get_backend",
+    "native_available",
+    "numba_versions",
     "register_backend",
+    "row_splits",
     "set_default_backend",
 ]

@@ -239,6 +239,14 @@ def build_plan(matrix, backend: str | None = None) -> SpMVPlan:
 register_backend(NumpyBackend())
 register_backend(ScipyBackend())
 
+# The numba-JIT native backend registers itself last: requesting
+# ``backend="native"`` on a container without numba falls back to
+# ``numpy`` through the ordinary registered-but-unavailable path, so
+# tier-1 environments run unchanged.
+from repro.exec.native import NativeBackend  # noqa: E402  (needs Backend)
+
+register_backend(NativeBackend())
+
 # Auto-detect: prefer the compiled SciPy path when present.
 if _BACKENDS["scipy"].is_available():
     _DEFAULT_NAME = "scipy"

@@ -1,0 +1,426 @@
+"""Compiled, GIL-releasing SpMV kernels (the ``native`` backend).
+
+The thread-pool :class:`~repro.exec.sharded.ShardedExecutor` is only as
+parallel as its kernels let it be: numpy-plan shards contend on the GIL
+and a 4-shard run on one core is *slower* than one shard (recorded
+honestly in BENCH_sharded.json).  This module closes that gap with
+numba-compiled kernels declared ``nogil=True`` — while a shard is inside
+a kernel, the other shards' threads genuinely run — plus
+``parallel=True`` row-split variants for the single-plan path, the
+load-balanced decomposition of Yang, Buluç & Owens (arXiv:1803.08601)
+applied on the host: rows are pre-split into chunks of near-equal
+non-zero count and ``prange`` walks the chunks.
+
+Three kernel families cover every storage format:
+
+* **CSR row-split** — serial per-row accumulation in ascending column
+  order (the canonical reduction, so results are bitwise equal to the
+  ``np.add.reduceat`` reference), chunked by nnz for the parallel
+  variant;
+* **ELL** — padded row-major gather, iterating only the valid prefix of
+  each row so padding never touches the accumulator;
+* **segmented reduce** — the ``np.add.reduceat`` equivalent over
+  row-sorted COO entries (one segment per non-empty row, scattered to
+  its target row), which serves any format via ``to_coo()`` without a
+  CSR conversion.
+
+**Graceful fallback.**  numba is an optional dependency
+(``pip install repro[native]``).  When it is missing — or a kernel
+fails to compile — :class:`NativeBackend` reports itself unavailable
+and the registry's normal resolution falls back to the numpy backend,
+so tier-1 CI and minimal installs run unchanged.  Plans are built
+through the same :class:`~repro.exec.plan.SpMVPlan` machinery
+(workspace pools, cached per matrix), preserving the zero-allocation
+steady state.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.exec.backends import Backend
+from repro.exec.plan import SpMVPlan, _SegmentReduction
+
+__all__ = [
+    "NativeBackend",
+    "NativeCSRPlan",
+    "NativeELLPlan",
+    "NativeSegPlan",
+    "kernels",
+    "native_available",
+    "numba_versions",
+    "row_splits",
+]
+
+#: Row-split chunks per compiled parallel call: a few chunks per thread
+#: gives the scheduler slack to absorb residual imbalance.
+CHUNKS_PER_THREAD = 4
+
+#: Below this many rows the parallel dispatch overhead cannot pay for
+#: itself; plans compile the serial kernel only.
+MIN_PARALLEL_ROWS = 4096
+
+_KERNELS = None
+_COMPILE_ERROR: Exception | None = None
+
+
+def _numba():
+    try:
+        import numba
+    except ImportError:
+        return None
+    return numba
+
+
+def native_available() -> bool:
+    """Whether the numba toolchain is importable and kernels compile."""
+    if _numba() is None:
+        return False
+    return _COMPILE_ERROR is None
+
+
+def numba_versions() -> dict:
+    """``{"numba": ..., "llvmlite": ...}`` (``None`` when absent).
+
+    Recorded in the tuner's environment fingerprint and in every
+    BENCH_*.json header so perf trajectories across heterogeneous
+    runners stay interpretable.
+    """
+    versions: dict = {"numba": None, "llvmlite": None}
+    numba = _numba()
+    if numba is not None:
+        versions["numba"] = numba.__version__
+        try:
+            import llvmlite
+
+            versions["llvmlite"] = llvmlite.__version__
+        except ImportError:  # pragma: no cover - ships with numba
+            pass
+    return versions
+
+
+def _parallel_enabled() -> bool:
+    """The ``parallel=True`` kernel policy for direct (unsharded) plans.
+
+    ``REPRO_NATIVE_PARALLEL`` forces it on ("1") or off ("0"); the
+    default follows the affinity mask — one usable core means the
+    row-split dispatch is pure overhead.
+    """
+    raw = os.environ.get("REPRO_NATIVE_PARALLEL", "").strip().lower()
+    if raw in {"1", "true", "yes", "on"}:
+        return True
+    if raw in {"0", "false", "no", "off"}:
+        return False
+    from repro.exec.sharded import available_cpu_count
+
+    return available_cpu_count() > 1
+
+
+def kernels():
+    """Compile (once) and return the kernel namespace, or ``None``.
+
+    Compilation here is *registration only* — numba's lazy dispatchers
+    specialise on first call, so importing this module stays cheap and
+    plan construction pays at most one JIT per kernel × signature.
+    """
+    global _KERNELS, _COMPILE_ERROR
+    if _KERNELS is not None or _COMPILE_ERROR is not None:
+        return _KERNELS
+    numba = _numba()
+    if numba is None:
+        return None
+    try:
+        _KERNELS = _compile(numba)
+    except Exception as exc:  # pragma: no cover - toolchain-dependent
+        _COMPILE_ERROR = exc
+        return None
+    return _KERNELS
+
+
+def _compile(numba):
+    """Define the jitted kernels.
+
+    Every kernel accumulates each output row serially, first entry to
+    last, starting from 0.0 — exactly the summation sequence of the
+    ``np.add.reduceat`` reference and SciPy's ``csr_matvec``, so the
+    native backend joins the bitwise-equal class of the differential
+    matrix (see tests/test_differential_matrix.py).
+    """
+    from numba import njit, prange
+
+    class _Kernels:
+        pass
+
+    @njit(nogil=True, cache=False)
+    def csr_spmv(indptr, indices, data, x, out):
+        for i in range(out.shape[0]):
+            acc = 0.0
+            for p in range(indptr[i], indptr[i + 1]):
+                acc += data[p] * x[indices[p]]
+            out[i] = acc
+
+    @njit(nogil=True, parallel=True, cache=False)
+    def csr_spmv_rowsplit(indptr, indices, data, x, out, splits):
+        for c in prange(splits.shape[0] - 1):
+            for i in range(splits[c], splits[c + 1]):
+                acc = 0.0
+                for p in range(indptr[i], indptr[i + 1]):
+                    acc += data[p] * x[indices[p]]
+                out[i] = acc
+
+    @njit(nogil=True, cache=False)
+    def csr_spmm(indptr, indices, data, X, out):
+        k = X.shape[1]
+        for i in range(out.shape[0]):
+            for j in range(k):
+                out[i, j] = 0.0
+            for p in range(indptr[i], indptr[i + 1]):
+                v = data[p]
+                c = indices[p]
+                for j in range(k):
+                    out[i, j] += v * X[c, j]
+
+    @njit(nogil=True, parallel=True, cache=False)
+    def csr_spmm_rowsplit(indptr, indices, data, X, out, splits):
+        k = X.shape[1]
+        for chunk in prange(splits.shape[0] - 1):
+            for i in range(splits[chunk], splits[chunk + 1]):
+                for j in range(k):
+                    out[i, j] = 0.0
+                for p in range(indptr[i], indptr[i + 1]):
+                    v = data[p]
+                    c = indices[p]
+                    for j in range(k):
+                        out[i, j] += v * X[c, j]
+
+    @njit(nogil=True, cache=False)
+    def ell_spmv(indices, data, lengths, x, out):
+        for i in range(out.shape[0]):
+            acc = 0.0
+            for j in range(lengths[i]):
+                acc += data[i, j] * x[indices[i, j]]
+            out[i] = acc
+
+    @njit(nogil=True, cache=False)
+    def ell_spmm(indices, data, lengths, X, out):
+        k = X.shape[1]
+        for i in range(out.shape[0]):
+            for j in range(k):
+                out[i, j] = 0.0
+            for q in range(lengths[i]):
+                v = data[i, q]
+                c = indices[i, q]
+                for j in range(k):
+                    out[i, j] += v * X[c, j]
+
+    @njit(nogil=True, cache=False)
+    def seg_spmv(seg_starts, target_rows, cols, data, x, out):
+        for i in range(out.shape[0]):
+            out[i] = 0.0
+        n_seg = seg_starts.shape[0]
+        for s in range(n_seg):
+            stop = seg_starts[s + 1] if s + 1 < n_seg else data.shape[0]
+            acc = 0.0
+            for p in range(seg_starts[s], stop):
+                acc += data[p] * x[cols[p]]
+            out[target_rows[s]] = acc
+
+    @njit(nogil=True, cache=False)
+    def seg_spmm(seg_starts, target_rows, cols, data, X, out):
+        k = X.shape[1]
+        for i in range(out.shape[0]):
+            for j in range(k):
+                out[i, j] = 0.0
+        n_seg = seg_starts.shape[0]
+        for s in range(n_seg):
+            stop = seg_starts[s + 1] if s + 1 < n_seg else data.shape[0]
+            row = target_rows[s]
+            for p in range(seg_starts[s], stop):
+                v = data[p]
+                c = cols[p]
+                for j in range(k):
+                    out[row, j] += v * X[c, j]
+
+    @njit(nogil=True, cache=False)
+    def segmented_reduce(values, seg_starts, out):
+        # The bare reduceat equivalent: out[s] = sum of segment s.
+        n_seg = seg_starts.shape[0]
+        for s in range(n_seg):
+            stop = seg_starts[s + 1] if s + 1 < n_seg else values.shape[0]
+            acc = 0.0
+            for p in range(seg_starts[s], stop):
+                acc += values[p]
+            out[s] = acc
+
+    k = _Kernels()
+    k.csr_spmv = csr_spmv
+    k.csr_spmv_rowsplit = csr_spmv_rowsplit
+    k.csr_spmm = csr_spmm
+    k.csr_spmm_rowsplit = csr_spmm_rowsplit
+    k.ell_spmv = ell_spmv
+    k.ell_spmm = ell_spmm
+    k.seg_spmv = seg_spmv
+    k.seg_spmm = seg_spmm
+    k.segmented_reduce = segmented_reduce
+    return k
+
+
+def row_splits(indptr: np.ndarray, n_chunks: int) -> np.ndarray:
+    """Row boundaries of ``n_chunks`` near-equal-nnz chunks.
+
+    The row-splitting half of the merge-path idea: chunk boundaries are
+    placed on the nnz prefix sum (which ``indptr`` already is), so one
+    heavy chunk cannot straggle the whole ``prange``.  Boundaries never
+    split a row — bit-identity is untouched.
+    """
+    n_rows = indptr.size - 1
+    if n_rows <= 0 or n_chunks <= 1:
+        return np.array([0, max(n_rows, 0)], dtype=np.int64)
+    targets = np.linspace(0, int(indptr[-1]), n_chunks + 1)
+    cuts = np.searchsorted(indptr, targets, side="left")
+    cuts = np.unique(np.clip(cuts, 0, n_rows))
+    if cuts[0] != 0:
+        cuts = np.concatenate([[0], cuts])
+    if cuts[-1] != n_rows:
+        cuts = np.concatenate([cuts, [n_rows]])
+    return cuts.astype(np.int64)
+
+
+def _n_chunks() -> int:
+    from repro.exec.sharded import available_cpu_count
+
+    return max(2, available_cpu_count() * CHUNKS_PER_THREAD)
+
+
+class NativeCSRPlan(SpMVPlan):
+    """CSR row-split plan on the compiled kernels."""
+
+    backend = "native"
+
+    def __init__(self, matrix, *, parallel: bool | None = None) -> None:
+        super().__init__(matrix.shape)
+        from repro.formats.csr import CSRMatrix
+
+        csr = (
+            matrix
+            if isinstance(matrix, CSRMatrix)
+            else CSRMatrix.from_coo(matrix.to_coo())
+        )
+        self.indptr = np.ascontiguousarray(csr.indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(csr.indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(csr.data, dtype=np.float64)
+        self._k = kernels()
+        if parallel is None:
+            parallel = _parallel_enabled() and self.n_rows >= MIN_PARALLEL_ROWS
+        self.parallel = bool(parallel)
+        self.splits = (
+            row_splits(self.indptr, _n_chunks()) if self.parallel else None
+        )
+
+    def _execute(self, x: np.ndarray, out: np.ndarray) -> None:
+        if self.parallel:
+            self._k.csr_spmv_rowsplit(
+                self.indptr, self.indices, self.data, x, out, self.splits
+            )
+        else:
+            self._k.csr_spmv(self.indptr, self.indices, self.data, x, out)
+
+    def _execute_many(self, X: np.ndarray, out: np.ndarray) -> None:
+        if self.parallel:
+            self._k.csr_spmm_rowsplit(
+                self.indptr, self.indices, self.data, X, out, self.splits
+            )
+        else:
+            self._k.csr_spmm(self.indptr, self.indices, self.data, X, out)
+
+
+class NativeELLPlan(SpMVPlan):
+    """ELL plan: padded gather, valid-prefix accumulation only."""
+
+    backend = "native"
+
+    def __init__(self, ell) -> None:
+        super().__init__(ell.shape)
+        self.indices = np.ascontiguousarray(ell.indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(ell.data, dtype=np.float64)
+        self.lengths = np.ascontiguousarray(
+            ell.valid.sum(axis=1), dtype=np.int64
+        )
+        self._k = kernels()
+
+    def _execute(self, x: np.ndarray, out: np.ndarray) -> None:
+        if self.indices.size == 0:
+            out.fill(0.0)
+            return
+        self._k.ell_spmv(self.indices, self.data, self.lengths, x, out)
+
+    def _execute_many(self, X: np.ndarray, out: np.ndarray) -> None:
+        if self.indices.size == 0:
+            out.fill(0.0)
+            return
+        self._k.ell_spmm(self.indices, self.data, self.lengths, X, out)
+
+
+class NativeSegPlan(SpMVPlan):
+    """Segmented-reduce plan over row-sorted COO entries.
+
+    The compiled ``reduceat`` equivalent: one segment per non-empty
+    row, results scattered to their target rows — any format reaches it
+    through ``to_coo()`` with no CSR conversion.
+    """
+
+    backend = "native"
+
+    def __init__(self, matrix) -> None:
+        super().__init__(matrix.shape)
+        coo = matrix.to_coo()
+        segments = _SegmentReduction.from_sorted_rows(coo.rows, coo.n_rows)
+        self.seg_starts = np.ascontiguousarray(
+            segments.seg_starts, dtype=np.int64
+        )
+        self.target_rows = np.ascontiguousarray(
+            segments.target_rows, dtype=np.int64
+        )
+        self.cols = np.ascontiguousarray(coo.cols, dtype=np.int64)
+        self.data = np.ascontiguousarray(coo.data, dtype=np.float64)
+        self._k = kernels()
+
+    def _execute(self, x: np.ndarray, out: np.ndarray) -> None:
+        self._k.seg_spmv(
+            self.seg_starts, self.target_rows, self.cols, self.data, x, out
+        )
+
+    def _execute_many(self, X: np.ndarray, out: np.ndarray) -> None:
+        self._k.seg_spmm(
+            self.seg_starts, self.target_rows, self.cols, self.data, X, out
+        )
+
+
+def _left_justified(valid: np.ndarray) -> bool:
+    """Whether every row's valid entries form a prefix (no holes)."""
+    if valid.size == 0:
+        return True
+    return bool(np.all(valid[:, :-1] >= valid[:, 1:]))
+
+
+class NativeBackend(Backend):
+    """Registry entry for the compiled kernels (auto-detected)."""
+
+    name = "native"
+
+    def is_available(self) -> bool:
+        return native_available()
+
+    def build_plan(self, matrix) -> SpMVPlan | None:
+        if kernels() is None:  # pragma: no cover - toolchain-dependent
+            return None
+        from repro.formats.csr import CSRMatrix
+        from repro.formats.ell import ELLMatrix
+
+        if isinstance(matrix, CSRMatrix):
+            return NativeCSRPlan(matrix)
+        if isinstance(matrix, ELLMatrix) and _left_justified(matrix.valid):
+            return NativeELLPlan(matrix)
+        return NativeSegPlan(matrix)

@@ -1,0 +1,493 @@
+"""Persistent worker processes for true-multicore row sharding.
+
+``ShardedExecutor(mode="process")`` swaps its thread pool for a
+:class:`ProcessShardPool`: one long-lived worker process per active
+shard, each holding its shard's row-slice matrix and cached
+:class:`~repro.exec.plan.SpMVPlan`.  The right-hand side and the output
+vector live in :mod:`multiprocessing.shared_memory` segments mapped by
+every worker, so the hot path serialises **nothing** — the parent
+copies ``x`` into the shared segment, sends a few-byte command down
+each worker's pipe, and the workers write their disjoint rows of the
+shared ``out`` directly (a zero-copy slice view for contiguous shards,
+a local-buffer scatter for bitonic ones).  The shard matrices are
+pickled exactly once, at pool construction (and again only on an
+adaptive reshard), which is setup cost, not per-call cost.
+
+Failure semantics mirror the PR-4 thread-mode recovery, with one
+upgrade: a worker **process** can actually be killed.  A worker that
+dies mid-call (crash, OOM kill, chaos ``SIGKILL``) surfaces as a
+closed pipe; a worker that exceeds the retry policy's timeout is
+killed outright.  Either way the pool reports the shard as failed, the
+executor recomputes it serially in-parent (bit-identical — same rows,
+same canonical reduction), and the pool respawns the worker before the
+next call.  Shared-memory lifetime is owned by the parent: segments
+are created in ``__init__``/``ensure_spmm`` and unlinked in
+:meth:`close`; workers only attach and detach.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["ProcessShardPool", "default_start_method"]
+
+#: Hard cap on draining a live-but-stuck worker once a timeout fired;
+#: after this the worker is killed and the shard degraded.
+KILL_GRACE_SECONDS = 0.5
+
+_SEGMENT_COUNTER = itertools.count()
+
+
+def default_start_method() -> str:
+    """``REPRO_PROC_START`` override, else ``fork`` where available.
+
+    ``fork`` inherits the parent's imported modules and registered
+    backends for free; ``spawn`` re-imports ``repro`` in each worker
+    (slower start, identical semantics) and is the fallback on
+    platforms without ``fork``.
+    """
+    import multiprocessing as mp
+
+    raw = os.environ.get("REPRO_PROC_START", "").strip().lower()
+    methods = mp.get_all_start_methods()
+    if raw:
+        if raw not in methods:
+            raise ValidationError(
+                f"REPRO_PROC_START={raw!r} is not a start method on this "
+                f"platform; available: {methods}"
+            )
+        return raw
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _attach_untracked(name: str):
+    """Attach a shared-memory segment without resource-tracker
+    registration.
+
+    Attaching registers with the (fork-shared) resource tracker on
+    CPython < 3.13 exactly like creating does, so parent and child
+    would double-account every segment and the parent's unlink would
+    crash the tracker loop with a KeyError.  The parent owns the
+    segments' lifetime; children only borrow a mapping — suppressing
+    ``register`` during the attach (the standard workaround for
+    cpython#82300) keeps the books straight.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@dataclass
+class _ShardSpec:
+    """Picklable shard payload: the row-slice COO arrays plus the
+    shard's global row mapping (``start/stop`` >= 0 marks a contiguous
+    shard that can write a zero-copy ``out`` slice)."""
+
+    index: int
+    rows: np.ndarray
+    cols: np.ndarray
+    data: np.ndarray
+    shape: tuple
+    row_ids: np.ndarray
+    start: int
+    stop: int
+
+
+def make_spec(shard) -> _ShardSpec:
+    coo = shard.matrix.to_coo()
+    return _ShardSpec(
+        index=shard.index,
+        rows=coo.rows,
+        cols=coo.cols,
+        data=coo.data,
+        shape=coo.shape,
+        row_ids=shard.row_ids,
+        start=shard.start,
+        stop=shard.stop,
+    )
+
+
+def _worker_main(conn, spec, backend, x_name, out_name, n_cols, n_rows):
+    """Worker loop: attach shared memory, build the plan, serve
+    commands until ``close``.  Every command is acknowledged with
+    ``("ok", seconds)`` or ``("error", message)`` — an unacknowledged
+    command means the worker died and the parent degrades the shard."""
+    import contextlib
+
+    try:
+        from repro.resilience import faults
+
+        suppress = faults.INJECTOR.suppressed()
+    except Exception:  # pragma: no cover - defensive
+        suppress = contextlib.nullcontext()
+
+    segments: dict[str, object] = {}
+
+    def attach(name: str, shape: tuple) -> np.ndarray:
+        seg = segments.get(name)
+        if seg is None:
+            seg = _attach_untracked(name)
+            segments[name] = seg
+        return np.ndarray(shape, dtype=np.float64, buffer=seg.buf)
+
+    try:
+        with suppress:
+            plan, row_ids, start, stop, local = _build_state(spec, backend)
+            x = attach(x_name, (n_cols,)) if n_cols else np.empty(0)
+            out = attach(out_name, (n_rows,)) if n_rows else np.empty(0)
+            while True:
+                msg = conn.recv()
+                cmd = msg[0]
+                if cmd == "close":
+                    break
+                try:
+                    tick = time.perf_counter()
+                    if cmd == "spmv":
+                        if start >= 0:
+                            plan._execute(x, out[start:stop])
+                        else:
+                            plan._execute(x, local)
+                            out[row_ids] = local
+                    elif cmd == "spmm":
+                        _, xn, yn, k = msg
+                        X = attach(xn, (n_cols, k))
+                        Y = attach(yn, (n_rows, k))
+                        if start >= 0:
+                            plan._execute_many(X, Y[start:stop])
+                        else:
+                            buf = np.empty((row_ids.size, k))
+                            plan._execute_many(X, buf)
+                            Y[row_ids] = buf
+                    elif cmd == "reshard":
+                        plan, row_ids, start, stop, local = _build_state(
+                            msg[1], backend
+                        )
+                    elif cmd == "ping":
+                        pass
+                    else:  # pragma: no cover - protocol bug
+                        raise ValidationError(f"unknown command {cmd!r}")
+                    conn.send(("ok", time.perf_counter() - tick))
+                except Exception as exc:  # noqa: BLE001 - reported upstream
+                    conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
+        pass
+    finally:
+        for seg in segments.values():
+            try:
+                seg.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+
+def _build_state(spec, backend):
+    """(plan, row_ids, start, stop, local buffer) for one shard spec."""
+    from repro.exec.backends import build_plan
+    from repro.formats.coo import COOMatrix
+
+    matrix = COOMatrix(spec.rows, spec.cols, spec.data, spec.shape)
+    plan = build_plan(matrix, backend=backend)
+    local = np.empty(spec.row_ids.size)
+    return plan, spec.row_ids, spec.start, spec.stop, local
+
+
+class _Worker:
+    __slots__ = ("proc", "conn", "spec")
+
+    def __init__(self, proc, conn, spec) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.spec = spec
+
+
+class ProcessShardPool:
+    """One persistent process per active shard, shared-memory I/O.
+
+    The pool is deliberately dumb: :meth:`spmv`/:meth:`spmm` return the
+    list of shard indices that failed (died, errored, or timed out and
+    were killed); the executor owns recovery.  Failed workers are
+    respawned automatically before the next command round.
+    """
+
+    def __init__(
+        self,
+        shards,
+        *,
+        shape: tuple,
+        backend: str,
+        start_method: str | None = None,
+    ) -> None:
+        import multiprocessing as mp
+
+        self._closed = False
+        self._segments: list = []
+        self._workers: dict[int, _Worker] = {}
+        self.shape = shape
+        self.backend = backend
+        self._ctx = mp.get_context(start_method or default_start_method())
+        n_rows, n_cols = shape
+        self._shm_x, self._x = self._create_segment((max(n_cols, 1),))
+        self._shm_out, self._out = self._create_segment((max(n_rows, 1),))
+        self._x = self._x[:n_cols]
+        self._out = self._out[:n_rows]
+        self._spmm_k = -1
+        self._shm_X = self._shm_Y = None
+        self._X = self._Y = None
+        #: Cumulative worker respawns (chaos accounting).
+        self.respawns = 0
+        for shard in shards:
+            self._spawn(make_spec(shard))
+
+    # ------------------------------------------------------------------
+    # Shared-memory management
+    # ------------------------------------------------------------------
+
+    def _create_segment(self, shape: tuple):
+        from multiprocessing import shared_memory
+
+        size = max(1, int(np.prod(shape)) * 8)
+        name = f"repro-shard-{os.getpid()}-{next(_SEGMENT_COUNTER)}"
+        seg = shared_memory.SharedMemory(name=name, create=True, size=size)
+        self._segments.append(seg)
+        return seg, np.ndarray(shape, dtype=np.float64, buffer=seg.buf)
+
+    def _ensure_spmm(self, k: int) -> None:
+        """(Re)size the SpMM segments when the batch width changes.
+
+        Old segments are unlinked immediately — workers still holding a
+        mapping keep it alive until they see the new names and drop it.
+        """
+        if k == self._spmm_k:
+            return
+        n_rows, n_cols = self.shape
+        for seg in (self._shm_X, self._shm_Y):
+            if seg is not None:
+                self._segments.remove(seg)
+                self._destroy_segment(seg)
+        self._shm_X, X = self._create_segment((max(n_cols, 1), max(k, 1)))
+        self._shm_Y, Y = self._create_segment((max(n_rows, 1), max(k, 1)))
+        self._X = X[:n_cols, :k]
+        self._Y = Y[:n_rows, :k]
+        self._spmm_k = k
+
+    @staticmethod
+    def _destroy_segment(seg) -> None:
+        try:
+            seg.close()
+            seg.unlink()
+        except Exception:  # pragma: no cover - already gone
+            pass
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn(self, spec) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        n_rows, n_cols = self.shape
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                spec,
+                self.backend,
+                self._shm_x.name,
+                self._shm_out.name,
+                n_cols,
+                n_rows,
+            ),
+            daemon=True,
+            name=f"repro-shard-{spec.index}",
+        )
+        proc.start()
+        child_conn.close()
+        self._workers[spec.index] = _Worker(proc, parent_conn, spec)
+
+    def _retire(self, worker: _Worker) -> None:
+        try:
+            worker.conn.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+        if worker.proc.is_alive():
+            worker.proc.kill()
+        worker.proc.join(timeout=KILL_GRACE_SECONDS)
+
+    def _respawn(self, index: int) -> None:
+        worker = self._workers.pop(index)
+        self._retire(worker)
+        self.respawns += 1
+        self._spawn(worker.spec)
+
+    @property
+    def worker_pids(self) -> dict[int, int]:
+        """Shard index → live worker pid (chaos tests kill by pid)."""
+        return {i: w.proc.pid for i, w in self._workers.items()}
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def spmv(
+        self,
+        x: np.ndarray,
+        out: np.ndarray,
+        shard_seconds: np.ndarray | None,
+        timeout: float | None = None,
+    ) -> list[int]:
+        """Run one SpMV round; returns the failed shard indices."""
+        np.copyto(self._x, x)
+        failed = self._round(("spmv",), shard_seconds, timeout)
+        np.copyto(out, self._out)
+        return failed
+
+    def spmm(
+        self,
+        X: np.ndarray,
+        out: np.ndarray,
+        shard_seconds: np.ndarray | None,
+        timeout: float | None = None,
+    ) -> list[int]:
+        """Run one batched SpMM round; returns the failed shard
+        indices."""
+        k = X.shape[1]
+        self._ensure_spmm(k)
+        np.copyto(self._X, X)
+        failed = self._round(
+            ("spmm", self._shm_X.name, self._shm_Y.name, k),
+            shard_seconds,
+            timeout,
+        )
+        np.copyto(out, self._Y)
+        return failed
+
+    def _round(
+        self,
+        command: tuple,
+        shard_seconds: np.ndarray | None,
+        timeout: float | None,
+    ) -> list[int]:
+        if self._closed:
+            raise ValidationError("process shard pool is closed")
+        failed: list[int] = []
+        sent: list[int] = []
+        for index, worker in self._workers.items():
+            try:
+                worker.conn.send(command)
+                sent.append(index)
+            except (BrokenPipeError, OSError):
+                failed.append(index)
+        for index in sent:
+            worker = self._workers[index]
+            seconds = self._collect(worker, timeout)
+            if seconds is None:
+                failed.append(index)
+            elif shard_seconds is not None:
+                shard_seconds[index] = seconds
+        for index in failed:
+            self._respawn(index)
+        return failed
+
+    def _collect(self, worker: _Worker, timeout: float | None):
+        """One worker's acknowledgement: seconds on success, ``None``
+        on death, error, or (timeout → kill)."""
+        try:
+            if timeout is not None:
+                if not worker.conn.poll(timeout):
+                    if worker.proc.is_alive():
+                        # Unlike a thread, a stuck worker can be killed:
+                        # no straggler can race the serial recompute.
+                        worker.proc.kill()
+                        worker.proc.join(timeout=KILL_GRACE_SECONDS)
+                    return None
+            status, payload = worker.conn.recv()
+        except (EOFError, OSError):
+            return None
+        if status != "ok":
+            return None
+        return float(payload)
+
+    def reshard(self, shards) -> None:
+        """Ship new shard slices to the persistent workers.
+
+        Amortised-path only (adaptive re-chunking): specs are pickled
+        here, never per call.  Workers missing a counterpart are
+        spawned or retired so the pool tracks the active shard set.
+        """
+        specs = {shard.index: make_spec(shard) for shard in shards}
+        for index in [i for i in self._workers if i not in specs]:
+            self._retire(self._workers.pop(index))
+        for index, spec in specs.items():
+            worker = self._workers.get(index)
+            if worker is None:
+                self._spawn(spec)
+                continue
+            worker.spec = spec
+            ok = False
+            try:
+                worker.conn.send(("reshard", spec))
+                ok = self._collect(worker, None) is not None
+            except (BrokenPipeError, OSError):
+                ok = False
+            if not ok:
+                self._respawn(index)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker and unlink all shared memory (idempotent,
+        safe on partial construction)."""
+        if getattr(self, "_closed", True):
+            return
+        self._closed = True
+        for worker in self._workers.values():
+            try:
+                worker.conn.send(("close",))
+            except Exception:
+                pass
+        for worker in self._workers.values():
+            worker.proc.join(timeout=KILL_GRACE_SECONDS)
+            self._retire(worker)
+        self._workers.clear()
+        for seg in self._segments:
+            self._destroy_segment(seg)
+        self._segments.clear()
+
+    def __enter__(self) -> "ProcessShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessShardPool(shape={self.shape}, "
+            f"workers={len(self._workers)}, backend={self.backend!r}, "
+            f"respawns={self.respawns})"
+        )

@@ -27,6 +27,19 @@ Yang, Buluç & Owens (arXiv:1803.08601) both argue that shard *balance*,
 not shard count, decides throughput; ``bitonic_partition`` is therefore
 the default scheduler, and :attr:`ShardedExecutor.last_shard_seconds`
 exposes measured per-shard wall time so the claim is checkable.
+
+Two escape hatches from the GIL ceiling live here too.
+``mode="process"`` swaps the thread pool for a
+:class:`~repro.exec.procpool.ProcessShardPool` — persistent worker
+processes with per-shard plans and shared-memory ``x``/``out``, so
+numpy-plan shards genuinely overlap (threads only overlap where the
+kernel releases the GIL).  And ``adaptive=True`` turns on parakeet-style
+throughput-measured re-chunking: when the measured per-shard seconds
+stay imbalanced past :class:`ReshardPolicy`'s threshold, the serpentine
+deal is re-run over *measured-cost* row weights instead of raw row
+lengths, and the shards (and worker processes) are rebuilt online.
+Neither changes a single output bit: every shard, in every mode, under
+every assignment, executes the same canonical row-sorted COO reduction.
 """
 
 from __future__ import annotations
@@ -36,6 +49,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -54,9 +68,13 @@ from repro.resilience.recovery import DEFAULT_RETRY_POLICY, RetryPolicy
 
 __all__ = [
     "AUTO_MIN_NNZ_PER_SHARD",
+    "ReshardPolicy",
+    "SHARD_MODES",
     "ShardedExecutor",
     "auto_shard_count",
+    "available_cpu_count",
     "env_shard_count",
+    "env_shard_mode",
 ]
 
 #: Below this many non-zeros per shard, thread dispatch overhead beats
@@ -67,12 +85,32 @@ AUTO_MIN_NNZ_PER_SHARD = 200_000
 #: is format-agnostic: every shard runs a canonical COO row slice).
 BASELINE_TUNE_FORMAT = "csr"
 
+#: Supported shard fan-out mechanisms.
+SHARD_MODES = ("thread", "process")
+
+
+def available_cpu_count() -> int:
+    """Cores this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine; the scheduler affinity mask
+    reports the *cgroup/taskset allowance*, which is what matters inside
+    CPU-limited containers — sharding past the mask just multiplies
+    dispatch overhead.  Falls back to ``cpu_count`` on platforms without
+    ``sched_getaffinity``.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
 
 def env_shard_count() -> int | None:
     """The ``REPRO_SPMV_SHARDS`` override, or ``None`` when unset.
 
     CI uses this to force the sharded executor underneath the whole
-    mining layer; a malformed value fails loudly.
+    mining layer; a malformed value fails loudly.  The override is
+    deliberately *not* clamped to the affinity mask — forcing an
+    oversharded run is exactly what the chaos/differential suites do.
     """
     raw = os.environ.get("REPRO_SPMV_SHARDS")
     if raw is None or raw == "":
@@ -90,19 +128,71 @@ def env_shard_count() -> int | None:
     return count
 
 
+def env_shard_mode() -> str | None:
+    """The ``REPRO_SPMV_MODE`` override, or ``None`` when unset."""
+    raw = os.environ.get("REPRO_SPMV_MODE")
+    if raw is None or raw == "":
+        return None
+    mode = raw.strip().lower()
+    if mode not in SHARD_MODES:
+        raise ValidationError(
+            f"REPRO_SPMV_MODE={raw!r} is not a shard mode; "
+            f"expected one of {SHARD_MODES}"
+        )
+    return mode
+
+
 def auto_shard_count(
     nnz: int, *, workers: int | None = None
 ) -> int:
     """Pick a shard count from the matrix size and the host's cores.
 
-    One shard per available core, but never so many that a shard drops
-    below :data:`AUTO_MIN_NNZ_PER_SHARD` non-zeros: small matrices stay
+    One shard per *available* core (the affinity mask, not the raw
+    ``cpu_count`` — CPU-limited containers must not overshard), but
+    never so many that a shard drops below
+    :data:`AUTO_MIN_NNZ_PER_SHARD` non-zeros: small matrices stay
     single-shard (and therefore dispatch-free), large ones use the
     machine.
     """
     if workers is None:
-        workers = os.cpu_count() or 1
+        workers = available_cpu_count()
     return max(1, min(workers, nnz // AUTO_MIN_NNZ_PER_SHARD))
+
+
+def _env_adaptive() -> bool:
+    """``REPRO_SPMV_ADAPTIVE`` truthiness (default off)."""
+    raw = os.environ.get("REPRO_SPMV_ADAPTIVE", "").strip().lower()
+    return raw in ("1", "true", "yes", "on")
+
+
+@dataclass(frozen=True)
+class ReshardPolicy:
+    """When and how eagerly the adaptive re-chunker fires.
+
+    The trigger is the same statistic ``repro profile`` reports:
+    measured per-shard seconds, imbalance = max/mean over active
+    shards.  One noisy call must not thrash the partition, so the
+    imbalance has to exceed ``threshold`` for ``patience``
+    *consecutive* calls, and after a reshard the trigger sleeps for
+    ``cooldown`` calls while the new boundaries produce fresh timings.
+    """
+
+    threshold: float = 1.5
+    patience: int = 3
+    cooldown: int = 20
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 1.0:
+            raise ValidationError(
+                f"reshard threshold must be > 1.0, got {self.threshold}"
+            )
+        if self.patience < 1 or self.cooldown < 0:
+            raise ValidationError(
+                "reshard patience must be >= 1 and cooldown >= 0"
+            )
+
+
+DEFAULT_RESHARD_POLICY = ReshardPolicy()
 
 
 class _Shard:
@@ -152,9 +242,25 @@ class ShardedExecutor:
     backend:
         Execution backend for the per-shard plans (default: the
         registry default).
+    mode:
+        ``"thread"`` (persistent thread pool, the default) or
+        ``"process"`` (persistent worker processes with shared-memory
+        I/O — true multicore for GIL-bound numpy plans).  ``None``
+        reads ``REPRO_SPMV_MODE``, falling back to ``"thread"``.
+        Process mode with a single active shard degenerates to
+        in-caller execution, exactly like thread mode.
     assignment:
         Pre-computed row→shard assignment (overrides ``partition``);
         lets the multi-GPU simulator reuse its own partition exactly.
+    adaptive:
+        Online re-chunking from measured per-shard seconds.  ``False``
+        keeps the initial partition for the executor's lifetime;
+        ``True`` enables :data:`DEFAULT_RESHARD_POLICY`; a
+        :class:`ReshardPolicy` enables with custom thresholds; ``None``
+        (default) reads ``REPRO_SPMV_ADAPTIVE``.  Resharding never
+        changes output bits — every assignment executes the same
+        canonical per-row reduction — only where the row boundaries
+        fall.
 
     The executor mirrors the ``spmv(x, out=)`` / ``spmm(X, out=)`` API
     of :class:`~repro.exec.plan.SpMVPlan`, and like a plan it serves one
@@ -169,14 +275,17 @@ class ShardedExecutor:
         *,
         partition: str = "bitonic",
         backend: str | None = None,
+        mode: str | None = None,
         assignment: np.ndarray | None = None,
         timing: bool = True,
         retry: RetryPolicy | None = None,
+        adaptive: bool | ReshardPolicy | None = None,
     ) -> None:
         # Lifecycle flags first: ``close``/``__del__`` must be safe on an
         # instance whose construction failed at any later line.
         self._closed = False
         self._pool = None
+        self._procpool = None
 
         from repro.multigpu.bitonic import (
             bitonic_partition,
@@ -187,6 +296,13 @@ class ShardedExecutor:
         self.backend = _resolve(backend)
         self.partition = partition
         self.timing = timing
+        if mode is None:
+            mode = env_shard_mode() or "thread"
+        if mode not in SHARD_MODES:
+            raise ValidationError(
+                f"unknown shard mode {mode!r}; expected one of {SHARD_MODES}"
+            )
+        self.mode = mode
         if retry is None:
             retry = DEFAULT_RETRY_POLICY
         elif not isinstance(retry, RetryPolicy):
@@ -213,6 +329,7 @@ class ShardedExecutor:
                 matrix,
                 formats=(BASELINE_TUNE_FORMAT,),
                 backends=(self.backend,),
+                modes=(self.mode,),
             ).n_shards
         if not isinstance(n_shards, int) or isinstance(n_shards, bool):
             raise ValidationError(
@@ -259,22 +376,48 @@ class ShardedExecutor:
             shard.plan = shard.matrix.spmv_plan(self.backend)
             self.shards.append(shard)
         else:
+            # In process mode the workers own the hot-path plans; the
+            # parent's copies are built lazily, only if a degrade path
+            # actually needs them.
+            eager = mode != "process"
             for index in range(n_shards):
                 row_ids = np.nonzero(assignment == index)[0]
                 shard = _Shard(index, row_ids, matrix.row_slice(row_ids))
-                shard.plan = build_plan(shard.matrix, backend=self.backend)
+                if eager:
+                    shard.plan = build_plan(shard.matrix, backend=self.backend)
                 self.shards.append(shard)
         self._active = [s for s in self.shards if s.row_ids.size]
         self._shard_seconds = np.zeros(n_shards)
+        # Adaptive re-chunking state (bit-identity is assignment-
+        # independent, so resharding online is always *correct*; the
+        # policy only decides whether it is *worth it*).
+        if adaptive is None:
+            adaptive = _env_adaptive()
+        if isinstance(adaptive, ReshardPolicy):
+            self.reshard_policy = adaptive
+            adaptive = True
+        else:
+            self.reshard_policy = DEFAULT_RESHARD_POLICY
+            adaptive = bool(adaptive)
+        self.adaptive = adaptive and n_shards > 1 and timing
+        #: Completed online reshards.
+        self.reshards = 0
+        self._hot_streak = 0
+        self._cooldown = 0
+        self._matrix = matrix
+        self._row_lengths = None  # fetched lazily on first reshard
         # Persistent workers, spun up once; a single shard needs none.
-        self._pool = (
-            ThreadPoolExecutor(
+        if len(self._active) > 1 and mode == "process":
+            from repro.exec.procpool import ProcessShardPool
+
+            self._procpool = ProcessShardPool(
+                self._active, shape=self.shape, backend=self.backend
+            )
+        elif len(self._active) > 1:
+            self._pool = ThreadPoolExecutor(
                 max_workers=max(1, len(self._active) - 1),
                 thread_name_prefix="repro-shard",
             )
-            if len(self._active) > 1
-            else None
-        )
         self._workspace = WorkspacePool()
         # Serialises whole calls: the shard pools and the shard-seconds
         # array are per-executor state, so concurrent ``spmv``/``spmm``
@@ -363,8 +506,12 @@ class ShardedExecutor:
             if _faults._ARMED:
                 # Chaos path: per-shard retry/timeout/degradation.  It may
                 # allocate per attempt — the zero-allocation contract only
-                # covers the disarmed steady state.
+                # covers the disarmed steady state.  Process mode runs this
+                # in-parent (workers permanently suppress injection, so
+                # chaos semantics live on the parent's serial path).
                 self._run_resilient(rhs, out, batched)
+            elif self._procpool is not None:
+                self._run_process(rhs, out, batched)
             elif self._pool is None:
                 try:
                     self._shard_task(active[0], rhs, out, batched)
@@ -395,13 +542,55 @@ class ShardedExecutor:
             self.executions += 1
             if _metrics._ENABLED:
                 self._report_metrics(batched)
+            if self.adaptive:
+                self._maybe_reshard()
+
+    # ------------------------------------------------------------------
+    # Process-mode fan-out
+    # ------------------------------------------------------------------
+
+    def _run_process(
+        self, rhs: np.ndarray, out: np.ndarray, batched: bool
+    ) -> None:
+        """One shared-memory round on the worker pool; any shard whose
+        worker died, errored or was killed on timeout is recomputed
+        serially in the parent (bit-identical — same rows, same
+        canonical reduction) while the pool respawns its worker."""
+        seconds = self._shard_seconds if self.timing else None
+        timeout = self.retry.timeout_seconds
+        if batched:
+            failed = self._procpool.spmm(rhs, out, seconds, timeout)
+        else:
+            failed = self._procpool.spmv(rhs, out, seconds, timeout)
+        for index in failed:
+            self._count("worker_deaths")
+            if _metrics._ENABLED:
+                _metrics.METRICS.inc("resilience.worker.deaths", shard=index)
+            self._degrade_in_place(
+                self.shards[index], rhs, out, batched, reason="worker"
+            )
+
+    @property
+    def worker_pids(self) -> dict[int, int]:
+        """Shard index → worker pid (empty outside process mode)."""
+        return self._procpool.worker_pids if self._procpool else {}
+
+    @property
+    def worker_respawns(self) -> int:
+        """Cumulative worker-process respawns (process mode only)."""
+        return self._procpool.respawns if self._procpool else 0
 
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
 
     def _degrade_in_place(
-        self, shard: _Shard, rhs: np.ndarray, out: np.ndarray, batched: bool
+        self,
+        shard: _Shard,
+        rhs: np.ndarray,
+        out: np.ndarray,
+        batched: bool,
+        reason: str = "error",
     ) -> None:
         """Serial re-execution of a failed shard in the caller thread.
 
@@ -412,7 +601,7 @@ class ShardedExecutor:
         self._count("degraded")
         if _metrics._ENABLED:
             _metrics.METRICS.inc(
-                "resilience.degraded", reason="error", shard=shard.index
+                "resilience.degraded", reason=reason, shard=shard.index
             )
         with _faults.INJECTOR.suppressed():
             self._shard_task(shard, rhs, out, batched)
@@ -428,19 +617,25 @@ class ShardedExecutor:
         active = self._active
         self._count("resilient_calls")
         futures = []
+        serial_rest: list[_Shard] = []
         if self._pool is not None:
             futures = [
                 (s, self._pool.submit(self._attempt_shard, s, rhs, batched))
                 for s in active[1:]
             ]
+        else:
+            # No thread pool — single active shard, or process mode
+            # running the chaos path in-parent: the remaining shards go
+            # through the same retry/degrade machinery, serially.
+            serial_rest = active[1:]
         results: dict[int, np.ndarray] = {}
-        first = active[0]
-        try:
-            results[first.index] = self._attempt_shard(first, rhs, batched)
-        except Exception:
-            results[first.index] = self._degraded_result(
-                first, rhs, batched, reason="error"
-            )
+        for shard in [active[0], *serial_rest]:
+            try:
+                results[shard.index] = self._attempt_shard(shard, rhs, batched)
+            except Exception:
+                results[shard.index] = self._degraded_result(
+                    shard, rhs, batched, reason="error"
+                )
         timeout = self.retry.timeout_seconds
         for shard, future in futures:
             try:
@@ -508,6 +703,7 @@ class ShardedExecutor:
             shard=shard.index,
             attempt=attempt,
         )
+        self._ensure_plan(shard)
         k = shard.row_ids.size
         # Fresh buffer per attempt: an abandoned straggler must never
         # share scratch with its replacement.
@@ -540,6 +736,7 @@ class ShardedExecutor:
         self, shard: _Shard, rhs: np.ndarray, batched: bool, reason: str
     ) -> np.ndarray:
         """Serial fault-suppressed recomputation into a fresh buffer."""
+        self._ensure_plan(shard)
         self._count("degraded")
         if _metrics._ENABLED:
             _metrics.METRICS.inc(
@@ -575,13 +772,111 @@ class ShardedExecutor:
             )
         mean = sum(active_seconds) / len(active_seconds)
         if mean > 0.0:
-            _metrics.METRICS.set_gauge(
-                "sharded.imbalance", max(active_seconds) / mean
-            )
+            imbalance = max(active_seconds) / mean
+            _metrics.METRICS.set_gauge("sharded.imbalance", imbalance)
+            _metrics.METRICS.observe("sharded.imbalance.samples", imbalance)
+
+    # ------------------------------------------------------------------
+    # Adaptive re-chunking (parakeet-style throughput-measured sizing)
+    # ------------------------------------------------------------------
+
+    def _measured_imbalance(self) -> float:
+        """max/mean of the last call's active-shard seconds (0.0 when
+        unmeasured)."""
+        active = self._active
+        if len(active) < 2:
+            return 0.0
+        vals = [self._shard_seconds[s.index] for s in active]
+        mean = sum(vals) / len(vals)
+        return max(vals) / mean if mean > 0.0 else 0.0
+
+    def _maybe_reshard(self) -> None:
+        """Debounced trigger: reshard only after ``patience`` calls in
+        a row over the imbalance threshold, then cool down."""
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return
+        imbalance = self._measured_imbalance()
+        if imbalance < self.reshard_policy.threshold:
+            self._hot_streak = 0
+            return
+        self._hot_streak += 1
+        if self._hot_streak < self.reshard_policy.patience:
+            return
+        self._hot_streak = 0
+        self._cooldown = self.reshard_policy.cooldown
+        self._reshard(imbalance)
+
+    def _reshard(self, imbalance: float) -> None:
+        """Re-run the serpentine deal over measured-cost row weights.
+
+        Each shard's observed seconds-per-nnz becomes a cost multiplier
+        on its rows (the parakeet idiom: chunk by *measured* throughput,
+        not assumed-uniform cost), so rows living on a slow shard weigh
+        more and the new deal moves work off it.  The ``+1`` keeps
+        empty rows dealable.
+        """
+        from repro.multigpu.bitonic import bitonic_partition
+
+        lengths = self._row_lengths
+        if lengths is None:
+            lengths = np.asarray(self._matrix.row_lengths(), dtype=np.float64)
+            self._row_lengths = lengths
+        seconds = self._shard_seconds
+        nnz = self.shard_nnz.astype(np.float64)
+        measured = (seconds > 0.0) & (nnz > 0.0)
+        if not measured.any():
+            return
+        rates = np.ones(self.n_shards)
+        rates[measured] = seconds[measured] / nnz[measured]
+        rates /= rates[measured].mean()
+        weights = (lengths + 1.0) * rates[self.assignment]
+        new_assignment = bitonic_partition(weights, self.n_shards)
+        moved = int(np.count_nonzero(new_assignment != self.assignment))
+        if moved == 0:
+            return
+        self._apply_assignment(new_assignment)
+        self.reshards += 1
+        self._count("reshards")
+        if _metrics._ENABLED:
+            _metrics.METRICS.inc("exec.reshard.count", n_shards=self.n_shards)
+            _metrics.METRICS.observe("exec.reshard.imbalance", imbalance)
+            _metrics.METRICS.observe("exec.reshard.rows_moved", float(moved))
+
+    def _apply_assignment(self, assignment: np.ndarray) -> None:
+        """Rebuild shards (and worker processes) for a new row→shard
+        assignment.  Runs under ``_call_lock`` (called from ``_run``),
+        so no in-flight call can see a half-built shard list."""
+        shards: list[_Shard] = []
+        eager = self.mode != "process"
+        for index in range(self.n_shards):
+            row_ids = np.nonzero(assignment == index)[0]
+            shard = _Shard(index, row_ids, self._matrix.row_slice(row_ids))
+            if eager:
+                shard.plan = build_plan(shard.matrix, backend=self.backend)
+            shards.append(shard)
+        self.assignment = assignment
+        self.shards = shards
+        self._active = [s for s in shards if s.row_ids.size]
+        if self._procpool is not None:
+            self._procpool.reshard(self._active)
+
+    def _ensure_plan(self, shard: _Shard):
+        """The shard's parent-side plan, built on first need.
+
+        Thread mode builds plans eagerly at construction; process mode
+        defers them to here — the workers own the hot-path plans, and
+        the parent only needs one when a degrade path recomputes a
+        shard locally.
+        """
+        if shard.plan is None:
+            shard.plan = build_plan(shard.matrix, backend=self.backend)
+        return shard.plan
 
     def _shard_task(
         self, shard: _Shard, rhs: np.ndarray, out: np.ndarray, batched: bool
     ) -> None:
+        self._ensure_plan(shard)
         tick = time.perf_counter() if self.timing else 0.0
         k = shard.row_ids.size
         if shard.contiguous:
@@ -664,6 +959,10 @@ class ShardedExecutor:
         if pool is not None:
             self._pool = None
             pool.shutdown(wait=True)
+        procpool = getattr(self, "_procpool", None)
+        if procpool is not None:
+            self._procpool = None
+            procpool.close()
 
     def __enter__(self) -> "ShardedExecutor":
         return self
@@ -675,10 +974,16 @@ class ShardedExecutor:
         pool = getattr(self, "_pool", None)
         if pool is not None:
             pool.shutdown(wait=False)
+        procpool = getattr(self, "_procpool", None)
+        if procpool is not None:
+            try:
+                procpool.close()
+            except Exception:
+                pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ShardedExecutor(shape={self.shape}, n_shards={self.n_shards}, "
             f"partition={self.partition!r}, backend={self.backend!r}, "
-            f"executions={self.executions})"
+            f"mode={self.mode!r}, executions={self.executions})"
         )

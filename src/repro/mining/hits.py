@@ -67,6 +67,7 @@ def hits(
     multi_vector: bool = True,
     executor=None,
     n_shards: int | str | None = None,
+    shard_mode: str | None = None,
     tune: bool = False,
     checkpoint=None,
     resume_from=None,
@@ -121,7 +122,8 @@ def hits(
     converged = False
     trace = convergence_trace("hits", tol=tol, multi_vector=multi_vector)
     with resolve_engine(
-        spmv, operator, executor, n_shards, tune=tune
+        spmv, operator, executor, n_shards, tune=tune,
+        shard_mode=shard_mode,
     ) as engine:
         trace.tick()
         for iterations in range(start_iteration + 1, max_iter + 1):

@@ -63,6 +63,7 @@ def pagerank(
     max_iter: int = 200,
     executor=None,
     n_shards: int | str | None = None,
+    shard_mode: str | None = None,
     tune: bool = False,
     checkpoint=None,
     resume_from=None,
@@ -84,6 +85,9 @@ def pagerank(
         (built on the PageRank operator) or one built here with
         ``n_shards`` shards (``"auto"`` for the nnz/cores policy).  The
         iterates are bit-identical to the single-shard run.
+    shard_mode:
+        ``"thread"`` or ``"process"`` fan-out for the sharded run (see
+        :class:`~repro.exec.ShardedExecutor`); needs ``n_shards``.
     tune:
         Let the measured auto-tuner (:func:`repro.tuner.tune`) decide
         the execution configuration for the PageRank operator —
@@ -138,7 +142,8 @@ def pagerank(
     # attribute test, keeping the loop allocation-free.
     trace = convergence_trace("pagerank", damping=damping, tol=tol)
     with resolve_engine(
-        spmv, operator, executor, n_shards, tune=tune
+        spmv, operator, executor, n_shards, tune=tune,
+        shard_mode=shard_mode,
     ) as engine:
         trace.tick()
         for iterations in range(start_iteration + 1, max_iter + 1):

@@ -24,7 +24,14 @@ __all__ = [
 
 
 @contextmanager
-def resolve_engine(kernel, operator, executor=None, n_shards=None, tune=False):
+def resolve_engine(
+    kernel,
+    operator,
+    executor=None,
+    n_shards=None,
+    tune=False,
+    shard_mode=None,
+):
     """Choose the object whose ``spmv``/``spmm`` drives a power loop.
 
     With neither ``executor`` nor ``n_shards`` given, the loop runs on
@@ -32,13 +39,15 @@ def resolve_engine(kernel, operator, executor=None, n_shards=None, tune=False):
     forces the sharded executor underneath every mining call (the CI
     configuration).  ``n_shards`` (an int, or ``"auto"`` for the
     nnz-and-cores policy) builds a :class:`~repro.exec.ShardedExecutor`
-    on the operator for the duration of the run; a caller-owned
-    ``executor`` (pre-built on the same operator, reusable across runs)
-    is used as-is and left open.  ``tune=True`` asks the measured
-    auto-tuner (:func:`repro.tuner.tune`) for the operator's fastest
-    ``format x backend x shard-count`` configuration — mutually
-    exclusive with ``executor``/``n_shards``, which pin what the tuner
-    would decide.
+    on the operator for the duration of the run; ``shard_mode``
+    (``"thread"``/``"process"``, default ``REPRO_SPMV_MODE`` or thread)
+    selects its fan-out mechanism.  A caller-owned ``executor``
+    (pre-built on the same operator, reusable across runs) is used
+    as-is and left open.  ``tune=True`` asks the measured auto-tuner
+    (:func:`repro.tuner.tune`) for the operator's fastest ``format x
+    backend x shard-count x mode`` configuration — mutually exclusive
+    with ``executor``/``n_shards``/``shard_mode``, which pin what the
+    tuner would decide.
     """
     from repro.exec.sharded import ShardedExecutor, env_shard_count
 
@@ -47,6 +56,11 @@ def resolve_engine(kernel, operator, executor=None, n_shards=None, tune=False):
             raise ValidationError(
                 "tune=True decides the executor configuration; do not "
                 "also pass executor= or n_shards="
+            )
+        if shard_mode is not None:
+            raise ValidationError(
+                "tune=True decides the shard mode; do not also pass "
+                "shard_mode="
             )
         from repro.tuner import tune as tune_matrix
 
@@ -61,6 +75,11 @@ def resolve_engine(kernel, operator, executor=None, n_shards=None, tune=False):
             raise ValidationError(
                 "pass either executor= or n_shards=, not both"
             )
+        if shard_mode is not None:
+            raise ValidationError(
+                "a caller-owned executor fixes the shard mode; do not "
+                "also pass shard_mode="
+            )
         if executor.shape != operator.shape:
             raise ValidationError(
                 f"executor shape {executor.shape} does not match the "
@@ -71,9 +90,14 @@ def resolve_engine(kernel, operator, executor=None, n_shards=None, tune=False):
     if n_shards is None:
         n_shards = env_shard_count()
         if n_shards is None:
+            if shard_mode is not None:
+                raise ValidationError(
+                    "shard_mode= needs a sharded run; pass n_shards= "
+                    "(or set REPRO_SPMV_SHARDS) as well"
+                )
             yield kernel
             return
-    owned = ShardedExecutor(operator, n_shards)
+    owned = ShardedExecutor(operator, n_shards, mode=shard_mode)
     try:
         yield owned
     finally:

@@ -61,6 +61,7 @@ def random_walk_with_restart(
     batched: bool = True,
     executor=None,
     n_shards: int | str | None = None,
+    shard_mode: str | None = None,
     tune: bool = False,
     checkpoint=None,
     resume_from=None,
@@ -140,7 +141,8 @@ def random_walk_with_restart(
         "rwr", restart=restart, tol=tol, batched=batched
     )
     with resolve_engine(
-        spmv, operator, executor, n_shards, tune=tune
+        spmv, operator, executor, n_shards, tune=tune,
+        shard_mode=shard_mode,
     ) as engine:
         trace.tick()
         if batched:

@@ -73,18 +73,39 @@ def disable() -> None:
     _ENABLED = False
 
 
-class _Histogram:
-    """Streaming summary of observed values (no sample retention)."""
+#: Ring-buffer reservoir length per histogram series.  512 float slots
+#: (4 KiB) bound memory regardless of run length while keeping enough
+#: recent samples for stable p50/p99 — a sliding window, which is what
+#: the adaptive re-chunker wants anyway (old shard boundaries' timings
+#: must age out, not dilute the quantiles forever).
+RESERVOIR_SIZE = 512
 
-    __slots__ = ("count", "total", "min", "max")
+
+class _Histogram:
+    """Streaming summary plus a bounded recent-sample reservoir.
+
+    ``count``/``total``/``min``/``max``/``mean`` cover the whole
+    series' lifetime; ``p50``/``p99`` are exact quantiles over the last
+    :data:`RESERVOIR_SIZE` samples (all samples, before the ring
+    wraps).  Last-value gauges hid the distribution — a shard that is
+    slow once per hundred calls is invisible to a gauge and obvious at
+    p99.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_ring")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._ring: list[float] = []
 
     def add(self, value: float) -> None:
+        if self.count < RESERVOIR_SIZE:
+            self._ring.append(value)
+        else:
+            self._ring[self.count % RESERVOIR_SIZE] = value
         self.count += 1
         self.total += value
         if value < self.min:
@@ -96,6 +117,15 @@ class _Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float | None:
+        """Exact ``q``-th percentile of the reservoir window
+        (nearest-rank), ``None`` before the first sample."""
+        if not self._ring:
+            return None
+        ordered = sorted(self._ring)
+        rank = int(round(q / 100.0 * (len(ordered) - 1)))
+        return ordered[rank]
+
     def to_dict(self) -> dict:
         return {
             "count": self.count,
@@ -103,6 +133,8 @@ class _Histogram:
             "mean": self.mean,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
+            "p50": self.percentile(50.0),
+            "p99": self.percentile(99.0),
         }
 
 

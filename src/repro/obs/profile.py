@@ -100,12 +100,21 @@ def run_profile(
         plan_hits = registry.counter_total("plan.cache.hits")
         pool_hits = registry.counter_total("pool.hits")
         pool_misses = registry.counter_total("pool.misses")
+        # Distribution, not noise: mean over the whole run plus p50/p99
+        # over the histogram's sliding reservoir, per shard — a shard
+        # that stalls once per hundred calls shows up at p99 while a
+        # last-value gauge (or a bare mean) would smooth it away.
         shard_seconds = {
-            key: summary["mean"]
+            key: {
+                "mean": summary["mean"],
+                "p50": summary["p50"],
+                "p99": summary["p99"],
+            }
             for key, summary in sorted(
                 registry.histogram_series("sharded.shard.seconds").items()
             )
         }
+        imbalance_hist = registry.histogram("sharded.imbalance.samples")
         report = {
             "config": {
                 "n_nodes": n_nodes,
@@ -131,6 +140,10 @@ def run_profile(
                 ),
                 "per_shard_seconds": shard_seconds,
                 "shard_imbalance": registry.gauge("sharded.imbalance"),
+                "shard_imbalance_p99": (
+                    imbalance_hist["p99"] if imbalance_hist else None
+                ),
+                "reshards": registry.counter_total("exec.reshard.count"),
             },
             "algorithms": {
                 "pagerank": _algorithm_section(pr),

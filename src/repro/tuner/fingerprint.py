@@ -62,17 +62,31 @@ def environment_key() -> dict:
     default, another core count, a library upgrade — invalidates cached
     decisions for re-measurement.
     """
+    from repro.exec.native import numba_versions
+    from repro.exec.sharded import SHARD_MODES, available_cpu_count
+
     try:
         import scipy
 
         scipy_version = scipy.__version__
     except ImportError:  # pragma: no cover - scipy present in CI
         scipy_version = None
+    versions = numba_versions()
     return {
         "backends": list(available_backends()),
         "default_backend": default_backend_name(),
         "cpu_count": os.cpu_count() or 1,
+        # The affinity mask, separately from cpu_count: the same image
+        # on the same machine under a different CPU limit is a
+        # different machine as far as shard decisions are concerned.
+        "cpu_affinity": available_cpu_count(),
+        "shard_modes": list(SHARD_MODES),
         "numpy": np.__version__,
         "scipy": scipy_version,
+        # numba/llvmlite versions (None when absent): installing or
+        # upgrading the JIT toolchain re-tunes rather than replaying a
+        # decision measured on interpreter-speed kernels.
+        "numba": versions["numba"],
+        "llvmlite": versions["llvmlite"],
         "repro": __version__,
     }

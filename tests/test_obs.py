@@ -76,6 +76,7 @@ def test_registry_counter_gauge_histogram_roundtrip():
     summary = reg.histogram("h", algorithm="pr")
     assert summary == {
         "count": 3, "total": 6.0, "mean": 2.0, "min": 1.0, "max": 3.0,
+        "p50": 2.0, "p99": 3.0,
     }
     assert list(reg.histogram_series("h")) == ["h{algorithm=pr}"]
     assert len(reg) == 4
@@ -84,6 +85,24 @@ def test_registry_counter_gauge_histogram_roundtrip():
     json.dumps(snap)  # JSON-ready
     reg.reset()
     assert len(reg) == 0
+
+
+def test_histogram_percentiles_use_sliding_reservoir():
+    """p50/p99 cover the recent window; min/max/count are lifetime."""
+    from repro.obs.metrics import RESERVOIR_SIZE
+
+    reg = Metrics()
+    for _ in range(RESERVOIR_SIZE):
+        reg.observe("h", 100.0)
+    for _ in range(RESERVOIR_SIZE):
+        reg.observe("h", 1.0)
+    summary = reg.histogram("h")
+    assert summary["count"] == 2 * RESERVOIR_SIZE
+    # Every old sample aged out of the ring: quantiles see only 1.0.
+    assert summary["p50"] == 1.0
+    assert summary["p99"] == 1.0
+    assert summary["max"] == 100.0
+    assert summary["min"] == 1.0
 
 
 def test_env_switch_parsing(monkeypatch):
@@ -327,7 +346,11 @@ def test_run_profile_report_has_the_acceptance_fields():
     assert 0.0 < derived["pool_hit_rate"] <= 1.0
     assert derived["pool_bytes_allocated"] > 0
     assert derived["per_shard_seconds"]
+    for summary in derived["per_shard_seconds"].values():
+        assert summary["p50"] <= summary["p99"]
+        assert summary["mean"] > 0.0
     assert derived["shard_imbalance"] >= 1.0
+    assert derived["shard_imbalance_p99"] >= 1.0
     for name in ("pagerank", "hits", "rwr"):
         section = report["algorithms"][name]
         assert section["residuals"], name

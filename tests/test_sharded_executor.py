@@ -162,7 +162,10 @@ def test_pool_persists_and_steady_state_allocates_nothing():
     y = np.empty(matrix.n_rows)
     X = np.ones((matrix.n_cols, 2))
     Y = np.empty((matrix.n_rows, 2))
-    with ShardedExecutor(matrix, 4) as ex:
+    # The thread pool is the object under test here, so pin the mode —
+    # under REPRO_SPMV_MODE=process the executor builds a ProcessShardPool
+    # instead (covered by tests/test_procpool.py).
+    with ShardedExecutor(matrix, 4, mode="thread") as ex:
         pool = ex._pool
         assert pool is not None  # spun up once, at construction
         ex.spmv(x, out=y)  # warm-up grows the shard scratch buffers

@@ -114,7 +114,12 @@ class TestFingerprint:
         key = environment_key()
         assert key == json.loads(json.dumps(key))
         assert key["cpu_count"] >= 1
+        assert 1 <= key["cpu_affinity"] <= key["cpu_count"]
+        assert key["shard_modes"] == ["thread", "process"]
         assert "numpy" in key
+        # numba/llvmlite keys exist even when the JIT stack is absent,
+        # so installing it later invalidates the cache.
+        assert "numba" in key and "llvmlite" in key
 
 
 # ----------------------------------------------------------------------
@@ -152,7 +157,7 @@ class TestCachePath:
 class TestCandidateGrid:
     def test_model_seeded_grid_keeps_csr_baseline(self, matrix):
         candidates, meta = candidate_grid(matrix)
-        formats = {fmt for fmt, _b, _s in candidates}
+        formats = {fmt for fmt, _b, _s, _m in candidates}
         assert "csr" in formats
         assert meta["model_kernel"] in (
             "csr-vector", "ell", "tile-composite"
@@ -160,7 +165,7 @@ class TestCandidateGrid:
 
     def test_pinned_formats_bypass_model(self, matrix):
         candidates, meta = candidate_grid(matrix, formats=("coo",))
-        assert {fmt for fmt, _b, _s in candidates} == {"coo"}
+        assert {fmt for fmt, _b, _s, _m in candidates} == {"coo"}
         assert meta["model_kernel"] is None
 
     def test_rejects_unknown_format(self, matrix):
@@ -170,6 +175,30 @@ class TestCandidateGrid:
     def test_rejects_bad_shard_count(self, matrix):
         with pytest.raises(ValidationError):
             candidate_grid(matrix, shard_counts=(0,))
+
+    def test_single_shard_cells_are_thread_mode(self, matrix):
+        candidates, _meta = candidate_grid(matrix, modes=("process",))
+        assert all(
+            mode == "thread"
+            for _f, _b, n_shards, mode in candidates
+            if n_shards == 1
+        )
+
+    def test_default_modes_match_affinity(self, matrix):
+        from repro.exec.sharded import available_cpu_count
+
+        candidates, _meta = candidate_grid(matrix)
+        modes = {
+            mode for _f, _b, n_shards, mode in candidates if n_shards > 1
+        }
+        if available_cpu_count() > 1:
+            assert modes == {"thread", "process"}
+        elif modes:  # multi-shard cells exist at all
+            assert modes == {"thread"}
+
+    def test_rejects_unknown_mode(self, matrix):
+        with pytest.raises(ValidationError):
+            candidate_grid(matrix, modes=("fiber",))
 
 
 # ----------------------------------------------------------------------
@@ -310,6 +339,22 @@ class TestDecisionSerialisation:
             TuningDecision.from_dict({
                 "fingerprint": "x", "format": "csr",
                 "backend": "numpy", "n_shards": 0, "seconds": 1.0,
+            })
+
+    def test_mode_defaults_to_thread_for_old_caches(self):
+        decision = TuningDecision.from_dict({
+            "fingerprint": "x", "format": "csr",
+            "backend": "numpy", "n_shards": 2, "seconds": 1.0,
+        })
+        assert decision.mode == "thread"
+        assert decision.to_dict()["mode"] == "thread"
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValidationError):
+            TuningDecision.from_dict({
+                "fingerprint": "x", "format": "csr",
+                "backend": "numpy", "n_shards": 2, "seconds": 1.0,
+                "mode": "fiber",
             })
 
 
