@@ -126,6 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
         "for GIL-bound backends); requires --shards",
     )
 
+    sub.add_parser(
+        "formats",
+        help="list registered storage formats and execution backends "
+        "(including repro.formats entry-point plugins)",
+    )
+
     autotune = sub.add_parser(
         "autotune", help="tune tile-composite parameters for a dataset"
     )
@@ -406,6 +412,46 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_formats(_args) -> int:
+    from repro.exec.backends import _BACKENDS, available_backends
+    from repro.exec.native import native_available
+    from repro.formats.registry import entry_point_errors, specs
+
+    rows = []
+    for spec in specs():
+        rows.append([
+            spec.name,
+            spec.cls.__name__,
+            spec.source,
+            "yes" if spec.bitwise else "last-ulp",
+            spec.model_kernel or "-",
+            "dedicated" if spec.native_plan is not None else "seg-reduce",
+            spec.description,
+        ])
+    print(ascii_table(
+        ["format", "class", "source", "bitwise", "model kernel",
+         "native plan", "description"],
+        rows,
+        title="Registered storage formats (repro.formats.registry)",
+    ))
+    available = set(available_backends())
+    backend_rows = [
+        [name, "available" if name in available else "unavailable"]
+        for name in _BACKENDS
+    ]
+    print(ascii_table(
+        ["backend", "status"], backend_rows,
+        title="Execution backends (repro.exec.backends)",
+    ))
+    if not native_available():
+        print("note: native backend needs numba "
+              "(pip install 'repro[native]')")
+    errors = entry_point_errors()
+    for err in errors:
+        print(f"plugin error: {err['entry_point']}: {err['error']}")
+    return 0
+
+
 def _cmd_tune(args) -> int:
     from repro.errors import ValidationError
     from repro.tuner import resolve_cache_path, tune
@@ -525,6 +571,7 @@ def _cmd_chaos(args) -> int:
 
 _COMMANDS = {
     "datasets": _cmd_datasets,
+    "formats": _cmd_formats,
     "spmv": _cmd_spmv,
     "pagerank": _cmd_pagerank,
     "autotune": _cmd_autotune,

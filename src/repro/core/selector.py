@@ -28,10 +28,23 @@ from repro.errors import ValidationError
 from repro.formats.base import SparseMatrix
 from repro.gpu.spec import DeviceSpec
 
-__all__ = ["KernelChoice", "predict_kernel_seconds", "select_kernel"]
+__all__ = [
+    "KernelChoice",
+    "MODELED",
+    "SELECTABLE",
+    "predict_kernel_seconds",
+    "select_kernel",
+]
 
 #: Kernels the selector can model as composite special cases.
 SELECTABLE = ("csr-vector", "ell", "tile-composite")
+
+#: Every kernel the model can price: the classic trio plus the
+#: load-balanced zoo (priced via :mod:`repro.gpu.load_balance`).  The
+#: tuner extends its ``select_kernel`` candidates to this set through
+#: the format registry's ``model_kernel`` declarations; ``SELECTABLE``
+#: itself stays the paper's §5 default.
+MODELED = SELECTABLE + ("cmrs", "rgcsr", "csr-mergepath")
 
 
 @dataclass(frozen=True)
@@ -104,17 +117,23 @@ def predict_kernel_seconds(
       32 rows, all padded to the longest row.
     * ``tile-composite`` — the auto-tuner's own prediction (Algorithms
       1–3 end to end).
+    * ``cmrs`` — one CSR-storage workload per multi-row strip (true
+      strip nnz, so short-row strips are billed for their occupancy).
+    * ``rgcsr`` — one ELL-storage workload per occupancy-targeted row
+      group, using the builder's own group boundaries.
+    * ``csr-mergepath`` — perfectly nnz-uniform height-1 workloads, one
+      per split, plus the carry fix-up overhead the rectangles omit.
     """
-    if kernel not in SELECTABLE:
+    if kernel not in MODELED:
         raise ValidationError(
-            f"cannot model kernel {kernel!r}; selectable: {SELECTABLE}"
+            f"cannot model kernel {kernel!r}; selectable: {MODELED}"
         )
     table = table or LookupTable(device)
     if kernel == "tile-composite":
         return autotune(matrix, device, table=table).predicted_seconds
 
-    lengths = matrix.row_lengths()
-    lengths = lengths[lengths > 0]
+    all_lengths = matrix.row_lengths()
+    lengths = all_lengths[all_lengths > 0]
     if lengths.size == 0:
         return 0.0
     if kernel == "csr-vector":
@@ -122,6 +141,41 @@ def predict_kernel_seconds(
             lengths, np.ones(lengths.size, dtype=np.int64),
             STORAGE_CSR, device, nnz=lengths,
         )
+    elif kernel == "cmrs":
+        from repro.formats.cmrs import CMRS_STRIP_ROWS
+        from repro.gpu.load_balance import strip_workload_arrays
+
+        widths, heights, strip_nnz = strip_workload_arrays(
+            all_lengths, CMRS_STRIP_ROWS
+        )
+        workloads = _uniform_workloads(
+            widths, heights, STORAGE_CSR, device, nnz=strip_nnz
+        )
+    elif kernel == "rgcsr":
+        from repro.gpu.load_balance import group_workload_arrays
+
+        widths, heights, group_nnz = group_workload_arrays(lengths)
+        workloads = _uniform_workloads(
+            widths, heights, STORAGE_ELL, device, nnz=group_nnz
+        )
+    elif kernel == "csr-mergepath":
+        from repro.formats.mpcsr import default_split_count
+        from repro.gpu.load_balance import (
+            merge_path_workload_arrays,
+            split_overhead_seconds,
+        )
+
+        total = int(lengths.sum())
+        n_splits = default_split_count(total)
+        widths, heights, split_nnz = merge_path_workload_arrays(
+            total, n_splits
+        )
+        workloads = _uniform_workloads(
+            widths, heights, STORAGE_CSR, device, nnz=split_nnz
+        )
+        return predict_workloads_seconds(
+            workloads, table, device, cached=False, true_nnz=True
+        ) + split_overhead_seconds(n_splits, device)
     else:  # ell
         max_len = int(lengths.max())
         n_groups = -(-lengths.size // device.warp_size)

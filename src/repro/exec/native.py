@@ -22,7 +22,18 @@ Three kernel families cover every storage format:
 * **segmented reduce** — the ``np.add.reduceat`` equivalent over
   row-sorted COO entries (one segment per non-empty row, scattered to
   its target row), which serves any format via ``to_coo()`` without a
-  CSR conversion.
+  CSR conversion;
+* **load-balanced zoo** — CMRS strips (``prange`` over strips, one
+  strip owns a disjoint row range), row-grouped CSR (``prange`` over a
+  group's padded rows), and merge-path CSR (``prange`` over
+  nnz-balanced splits that may bisect rows, with a serial carry fix-up
+  in split order — the work decomposition of Yang–Buluç–Owens where a
+  hub row can never straggle the schedule, unlike ``row_splits``
+  which must keep rows whole).
+
+Format-specific plans are dispatched through the
+:mod:`repro.formats.registry` ``native_plan`` hooks, so third-party
+formats can ship their own compiled plan without touching this module.
 
 **Graceful fallback.**  numba is an optional dependency
 (``pip install repro[native]``).  When it is missing — or a kernel
@@ -45,8 +56,11 @@ from repro.exec.plan import SpMVPlan, _SegmentReduction
 
 __all__ = [
     "NativeBackend",
+    "NativeCMRSPlan",
     "NativeCSRPlan",
     "NativeELLPlan",
+    "NativeMPCSRPlan",
+    "NativeRGCSRPlan",
     "NativeSegPlan",
     "kernels",
     "native_available",
@@ -243,6 +257,81 @@ def _compile(numba):
                 for j in range(k):
                     out[row, j] += v * X[c, j]
 
+    @njit(nogil=True, parallel=True, cache=False)
+    def cmrs_spmv(strip_ptr, cols, data, row_in_strip, strip_rows, x, out):
+        # One strip owns a disjoint range of rows, so strips are free to
+        # run in parallel; within a strip the interleaved storage visits
+        # each row's entries in ascending-slot (= ascending-column)
+        # order, so the in-place accumulation is the canonical per-row
+        # reduction.
+        n_rows = out.shape[0]
+        n_strips = strip_ptr.shape[0] - 1
+        for s in prange(n_strips):
+            r0 = s * strip_rows
+            r1 = min(r0 + strip_rows, n_rows)
+            for r in range(r0, r1):
+                out[r] = 0.0
+            for p in range(strip_ptr[s], strip_ptr[s + 1]):
+                out[r0 + row_in_strip[p]] += data[p] * x[cols[p]]
+
+    @njit(nogil=True, parallel=True, cache=False)
+    def rg_group_spmv(row_ids, lengths, indices, data, x, out):
+        # One padded group block: rows are near-equal length by
+        # construction, so the prange is balanced without chunking.
+        for i in prange(row_ids.shape[0]):
+            acc = 0.0
+            for j in range(lengths[i]):
+                acc += data[i, j] * x[indices[i, j]]
+            out[row_ids[i]] = acc
+
+    @njit(nogil=True, parallel=True, cache=False)
+    def mpcsr_spmv(
+        indptr, indices, data, x, out,
+        split_entry, split_first_row, carry_row, carry_val,
+    ):
+        # Each split processes an nnz-balanced entry range.  A row fully
+        # inside the split writes out[r] directly; a partial head/tail
+        # row writes one of the split's two carry slots instead (at most
+        # one row can start before the split and one can end after it).
+        # Rows bisected by cuts have no full piece anywhere — they are
+        # assembled entirely by the fix-up pass.
+        n_rows = out.shape[0]
+        for i in range(n_rows):
+            out[i] = 0.0
+        n_splits = split_entry.shape[0] - 1
+        for s in prange(n_splits):
+            e0 = split_entry[s]
+            e1 = split_entry[s + 1]
+            carry_row[2 * s] = -1
+            carry_row[2 * s + 1] = -1
+            r = split_first_row[s]
+            p = e0
+            while p < e1:
+                row_end = indptr[r + 1]
+                if row_end <= p:
+                    r += 1
+                    continue
+                stop = row_end if row_end < e1 else e1
+                acc = 0.0
+                for q in range(p, stop):
+                    acc += data[q] * x[indices[q]]
+                if p == indptr[r] and stop == row_end:
+                    out[r] = acc
+                else:
+                    slot = 2 * s if p == e0 else 2 * s + 1
+                    carry_row[slot] = r
+                    carry_val[slot] = acc
+                p = stop
+                r += 1
+
+    @njit(nogil=True, cache=False)
+    def mpcsr_fixup(carry_row, carry_val, out):
+        # Serial, in split order: the deterministic cross-piece combine.
+        for i in range(carry_row.shape[0]):
+            r = carry_row[i]
+            if r >= 0:
+                out[r] += carry_val[i]
+
     @njit(nogil=True, cache=False)
     def segmented_reduce(values, seg_starts, out):
         # The bare reduceat equivalent: out[s] = sum of segment s.
@@ -264,6 +353,10 @@ def _compile(numba):
     k.seg_spmv = seg_spmv
     k.seg_spmm = seg_spmm
     k.segmented_reduce = segmented_reduce
+    k.cmrs_spmv = cmrs_spmv
+    k.rg_group_spmv = rg_group_spmv
+    k.mpcsr_spmv = mpcsr_spmv
+    k.mpcsr_fixup = mpcsr_fixup
     return k
 
 
@@ -398,6 +491,88 @@ class NativeSegPlan(SpMVPlan):
         )
 
 
+class NativeCMRSPlan(SpMVPlan):
+    """CMRS strip plan: ``prange`` over strips, each owning its rows."""
+
+    backend = "native"
+
+    def __init__(self, cmrs) -> None:
+        super().__init__(cmrs.shape)
+        self.strip_ptr = np.ascontiguousarray(cmrs.strip_ptr, dtype=np.int64)
+        self.cols = np.ascontiguousarray(cmrs.cols, dtype=np.int64)
+        self.data = np.ascontiguousarray(cmrs.data, dtype=np.float64)
+        self.row_in_strip = np.ascontiguousarray(
+            cmrs.row_in_strip, dtype=np.int64
+        )
+        self.strip_rows = int(cmrs.strip_rows)
+        self._k = kernels()
+
+    def _execute(self, x: np.ndarray, out: np.ndarray) -> None:
+        self._k.cmrs_spmv(
+            self.strip_ptr, self.cols, self.data, self.row_in_strip,
+            self.strip_rows, x, out,
+        )
+
+
+class NativeRGCSRPlan(SpMVPlan):
+    """Row-grouped plan: one balanced ``prange`` call per padded group."""
+
+    backend = "native"
+
+    def __init__(self, rgcsr) -> None:
+        super().__init__(rgcsr.shape)
+        self.groups = [
+            (
+                np.ascontiguousarray(g.row_ids, dtype=np.int64),
+                np.ascontiguousarray(g.lengths, dtype=np.int64),
+                np.ascontiguousarray(g.indices, dtype=np.int64),
+                np.ascontiguousarray(g.data, dtype=np.float64),
+            )
+            for g in rgcsr.groups
+        ]
+        self._k = kernels()
+
+    def _execute(self, x: np.ndarray, out: np.ndarray) -> None:
+        out.fill(0.0)
+        for row_ids, lengths, indices, data in self.groups:
+            self._k.rg_group_spmv(row_ids, lengths, indices, data, x, out)
+
+
+class NativeMPCSRPlan(SpMVPlan):
+    """Merge-path plan: ``prange`` over nnz-balanced splits + fix-up.
+
+    This is the native backend's only work decomposition that is
+    independent of degree skew — a hub row is bisected across splits
+    instead of straggling one chunk of :func:`row_splits`.
+    """
+
+    backend = "native"
+
+    def __init__(self, mpcsr) -> None:
+        super().__init__(mpcsr.shape)
+        self.indptr = np.ascontiguousarray(mpcsr.indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(mpcsr.indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(mpcsr.data, dtype=np.float64)
+        self.split_entry = np.ascontiguousarray(
+            mpcsr.split_entry, dtype=np.int64
+        )
+        self.split_first_row = np.ascontiguousarray(
+            mpcsr.split_first_row, dtype=np.int64
+        )
+        n_splits = self.split_entry.size - 1
+        self.carry_row = np.empty(2 * n_splits, dtype=np.int64)
+        self.carry_val = np.empty(2 * n_splits, dtype=np.float64)
+        self._k = kernels()
+
+    def _execute(self, x: np.ndarray, out: np.ndarray) -> None:
+        self._k.mpcsr_spmv(
+            self.indptr, self.indices, self.data, x, out,
+            self.split_entry, self.split_first_row,
+            self.carry_row, self.carry_val,
+        )
+        self._k.mpcsr_fixup(self.carry_row, self.carry_val, out)
+
+
 def _left_justified(valid: np.ndarray) -> bool:
     """Whether every row's valid entries form a prefix (no holes)."""
     if valid.size == 0:
@@ -416,11 +591,14 @@ class NativeBackend(Backend):
     def build_plan(self, matrix) -> SpMVPlan | None:
         if kernels() is None:  # pragma: no cover - toolchain-dependent
             return None
-        from repro.formats.csr import CSRMatrix
-        from repro.formats.ell import ELLMatrix
+        from repro.formats.registry import spec_for
 
-        if isinstance(matrix, CSRMatrix):
-            return NativeCSRPlan(matrix)
-        if isinstance(matrix, ELLMatrix) and _left_justified(matrix.valid):
-            return NativeELLPlan(matrix)
+        # Registry dispatch: a format's spec may declare a native plan
+        # factory (returning None to decline, e.g. ragged ELL); anything
+        # without one runs on the generic segmented-reduce kernel.
+        spec = spec_for(matrix)
+        if spec is not None and spec.native_plan is not None:
+            plan = spec.native_plan(matrix)
+            if plan is not None:
+                return plan
         return NativeSegPlan(matrix)

@@ -44,6 +44,9 @@ __all__ = [
     "CSRPlan",
     "COOPlan",
     "CSCPlan",
+    "CMRSPlan",
+    "RGCSRPlan",
+    "MPCSRPlan",
     "ELLPlan",
     "DIAPlan",
     "HYBPlan",
@@ -443,6 +446,117 @@ class CSCPlan(_GatherReducePlan):
         self.segments = _SegmentReduction.from_sorted_rows(
             csc.indices[self.perm], csc.n_rows
         )
+
+
+class CMRSPlan(_GatherReducePlan):
+    """Plan for :class:`~repro.formats.cmrs.CMRSMatrix`.
+
+    Entries are stored slot-interleaved per strip; a cached stable
+    row-sort permutation restores row-major order (within a row the
+    stable sort preserves slot order, i.e. ascending columns), after
+    which the reduction is exactly the canonical segmented reduceat —
+    the CSC pattern applied to strips.
+    """
+
+    def __init__(self, cmrs) -> None:
+        super().__init__(cmrs.shape)
+        self.gather_cols = cmrs.cols
+        self.values = cmrs.data
+        rows = cmrs.entry_rows()
+        self.perm = np.argsort(rows, kind="stable")
+        self.segments = _SegmentReduction.from_sorted_rows(
+            rows[self.perm], cmrs.n_rows
+        )
+
+
+class RGCSRPlan(_GatherReducePlan):
+    """Plan for :class:`~repro.formats.rgcsr.RGCSRMatrix`.
+
+    The padded group blocks flatten to one entry stream (each row a
+    contiguous ascending-column run, rows in group order); the cached
+    stable row-sort permutation restores global row order and the
+    canonical segmented reduceat does the rest — bitwise member of the
+    differential matrix's reduction class.
+    """
+
+    def __init__(self, rgcsr) -> None:
+        super().__init__(rgcsr.shape)
+        rows, cols, data = rgcsr._entry_arrays()
+        self.gather_cols = cols
+        self.values = data
+        self.perm = np.argsort(rows, kind="stable")
+        self.segments = _SegmentReduction.from_sorted_rows(
+            rows[self.perm], rgcsr.n_rows
+        )
+
+
+class MPCSRPlan(_GatherReducePlan):
+    """Plan for :class:`~repro.formats.mpcsr.MPCSRMatrix`.
+
+    When no split point bisects a row (the default policy below the
+    bisection threshold) this is exactly :class:`CSRPlan` — bitwise
+    member of the differential matrix's canonical class.  When rows are
+    bisected, each nnz-balanced **piece** (a row fragment between
+    consecutive cut/row boundaries) is one reduceat segment; the
+    deterministic fix-up combines a row's piece partials in split
+    order: assignment for the first piece (preserves signed zeros),
+    in-place add for each deeper piece.  Within one depth level a row
+    appears at most once, so the pooled gather/add/scatter is exact.
+    """
+
+    def __init__(self, mpcsr) -> None:
+        super().__init__(mpcsr.shape)
+        self.gather_cols = mpcsr.indices
+        self.values = mpcsr.data
+        if mpcsr.bisected_rows.size == 0:
+            self.segments = _SegmentReduction.from_indptr(mpcsr.indptr)
+            self.piece_starts = None
+            self.levels: list[tuple[np.ndarray, np.ndarray]] = []
+            return
+        indptr = mpcsr.indptr
+        nonempty_starts = indptr[:-1][np.nonzero(np.diff(indptr))[0]]
+        cuts = mpcsr.split_entry[1:-1]
+        piece_starts = np.unique(
+            np.concatenate([nonempty_starts, cuts])
+        ).astype(np.int64)
+        piece_rows = (
+            np.searchsorted(indptr, piece_starts, side="right") - 1
+        ).astype(np.int64)
+        # Depth of a piece = its rank among its row's pieces, in entry
+        # (= split) order; one (indices, rows) pair per depth level.
+        run_starts = np.concatenate(
+            [[0], np.nonzero(np.diff(piece_rows))[0] + 1]
+        ).astype(np.int64)
+        run_lengths = np.diff(
+            np.concatenate([run_starts, [piece_rows.size]])
+        )
+        depth = np.arange(piece_rows.size, dtype=np.int64) - np.repeat(
+            run_starts, run_lengths
+        )
+        self.segments = None
+        self.piece_starts = piece_starts
+        self.levels = []
+        for d in range(int(depth.max()) + 1):
+            sel = np.nonzero(depth == d)[0]
+            self.levels.append((sel, piece_rows[sel]))
+
+    def _reduce(self, products: np.ndarray, out: np.ndarray) -> None:
+        if self.piece_starts is None:
+            self.segments.apply(products, out, self.pool)
+            return
+        partial = self.pool.buffer("mp:partial", self.piece_starts.size)
+        np.add.reduceat(products, self.piece_starts, out=partial)
+        out.fill(0.0)
+        for d, (idx, rows) in enumerate(self.levels):
+            buf = self.pool.buffer(f"mp:take{d}", idx.size)
+            np.take(partial, idx, out=buf)
+            if d == 0:
+                out[rows] = buf
+            else:
+                cur = self.pool.buffer(f"mp:cur{d}", rows.size)
+                np.take(out, rows, out=cur)
+                np.add(cur, buf, out=cur)
+                out[rows] = cur
 
 
 class ELLPlan(SpMVPlan):

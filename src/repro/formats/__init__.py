@@ -1,7 +1,8 @@
 """Sparse matrix storage formats, implemented from scratch on NumPy.
 
 These mirror the formats in NVIDIA's SpMV library (Bell & Garland, SC'09;
-paper Appendix B) plus the plain CSC layout the tiling transform needs:
+paper Appendix B) plus the plain CSC layout the tiling transform needs,
+plus the load-balanced zoo from the related work:
 
 ====================  =====================================================
 :class:`COOMatrix`    coordinate triples, row-sorted
@@ -11,15 +12,24 @@ paper Appendix B) plus the plain CSC layout the tiling transform needs:
 :class:`HYBMatrix`    hybrid — ELL for the first K entries/row, COO rest
 :class:`DIAMatrix`    diagonal — only for banded matrices
 :class:`PKTMatrix`    packet — clustered dense-ish sub-blocks
+:class:`CMRSMatrix`   strip-packed multi-row CSR (Koza et al.)
+:class:`RGCSRMatrix`  adaptive row-grouped CSR (Heller & Oberhuber)
+:class:`MPCSRMatrix`  merge-path / row-split CSR (Yang–Buluç–Owens)
 ====================  =====================================================
 
 Every format can produce the exact product ``y = A @ x`` via ``spmv`` and
 report its storage footprint via ``nbytes`` (padding included — the
 memory-overhead constraint the paper discusses for ELL and blocked
 formats).
+
+Formats are described by :class:`FormatSpec` entries in
+:mod:`repro.formats.registry`; third-party packages add their own via
+:func:`register_format` or a ``repro.formats`` entry point (see
+DESIGN.md §13).
 """
 
 from repro.formats.base import SparseMatrix
+from repro.formats.cmrs import CMRSMatrix
 from repro.formats.convert import from_dense, to_format
 from repro.formats.coo import COOMatrix
 from repro.formats.csc import CSCMatrix
@@ -27,17 +37,36 @@ from repro.formats.csr import CSRMatrix
 from repro.formats.dia import DIAMatrix
 from repro.formats.ell import ELLMatrix
 from repro.formats.hyb import HYBMatrix
+from repro.formats.mpcsr import MPCSRMatrix
 from repro.formats.pkt import PKTMatrix
+from repro.formats.registry import (
+    FormatSpec,
+    format_names,
+    get_format,
+    register_format,
+    spec_for,
+    unregister_format,
+)
+from repro.formats.rgcsr import RGCSRMatrix
 
 __all__ = [
+    "CMRSMatrix",
     "COOMatrix",
     "CSCMatrix",
     "CSRMatrix",
     "DIAMatrix",
     "ELLMatrix",
+    "FormatSpec",
     "HYBMatrix",
+    "MPCSRMatrix",
     "PKTMatrix",
+    "RGCSRMatrix",
     "SparseMatrix",
+    "format_names",
     "from_dense",
+    "get_format",
+    "register_format",
+    "spec_for",
     "to_format",
+    "unregister_format",
 ]

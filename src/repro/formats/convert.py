@@ -1,31 +1,51 @@
-"""Format conversions and dense round-trips."""
+"""Format conversions and dense round-trips.
+
+``FORMAT_BUILDERS`` used to be a hard-coded dict of seven converters;
+it is now a **live read-only view** over
+:mod:`repro.formats.registry`, so formats registered later — the
+load-balanced zoo, test fixtures, ``repro.formats`` entry-point
+plugins — appear here (and everywhere that enumerates this mapping:
+the tuner grid validation, the property/differential test sweeps, the
+CLI) without any code change.
+"""
 
 from __future__ import annotations
+
+from collections.abc import Mapping
 
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.formats import registry
 from repro.formats.base import SparseMatrix
 from repro.formats.coo import COOMatrix
-from repro.formats.csc import CSCMatrix
-from repro.formats.csr import CSRMatrix
-from repro.formats.dia import DIAMatrix
-from repro.formats.ell import ELLMatrix
-from repro.formats.hyb import HYBMatrix
-from repro.formats.pkt import PKTMatrix
 
 __all__ = ["FORMAT_BUILDERS", "from_dense", "to_format"]
 
-#: Registry of converters from COO to each named format.
-FORMAT_BUILDERS = {
-    "coo": lambda coo, **kw: coo,
-    "csr": lambda coo, **kw: CSRMatrix.from_coo(coo),
-    "csc": lambda coo, **kw: CSCMatrix.from_coo(coo),
-    "ell": ELLMatrix.from_coo,
-    "hyb": HYBMatrix.from_coo,
-    "dia": DIAMatrix.from_coo,
-    "pkt": PKTMatrix.from_coo,
-}
+
+class _BuilderView(Mapping):
+    """Live ``{name: build}`` mapping over the format registry."""
+
+    def __getitem__(self, key):
+        return registry.get_format(key).build
+
+    def __iter__(self):
+        return iter(registry.format_names())
+
+    def __len__(self):
+        return len(registry.format_names())
+
+    def __contains__(self, key):
+        # Mapping's default __contains__ works via __getitem__, but
+        # get_format raises ValidationError (not KeyError) on misses.
+        return key in registry.format_names()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FORMAT_BUILDERS({registry.format_names()})"
+
+
+#: Converters from COO to each registered format (live registry view).
+FORMAT_BUILDERS = _BuilderView()
 
 
 def from_dense(dense: np.ndarray) -> COOMatrix:

@@ -1,0 +1,204 @@
+"""Merge-path / row-split CSR (MPCSR).
+
+CSR storage plus precomputed **nnz-balanced split points** in the style
+of merge-based SpMV (Merrill & Garland; Yang, Buluç & Owens,
+arXiv:1803.08601): the entry range is cut into ``n_splits`` near-equal
+pieces and each piece is an independent unit of work.  Unlike the
+row-granular ``row_splits`` chunking of the native CSR plan, a split
+point may land **inside** a long row — the work decomposition is
+independent of degree skew, so one hub row can never straggle the
+schedule.  Rows bisected by a split produce per-piece partial sums that
+a deterministic **carry-out/fix-up pass** combines in split order.
+
+Reduction-order contract: with a single split (the default policy below
+any bisection threshold) the execution is exactly the canonical CSR
+reduction — bitwise member of the differential matrix's
+``np.add.reduceat`` class on every backend.  When rows are actually
+bisected, per-piece partials still use the canonical reduction but the
+cross-piece combine associates differently: last-ulp class, pinned by
+the dedicated fix-up test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix, check_shape
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+
+__all__ = [
+    "MPCSR_MAX_SPLITS",
+    "MPCSR_NNZ_PER_SPLIT",
+    "MPCSRMatrix",
+    "default_split_count",
+    "mpcsr_tune_candidate",
+    "native_mpcsr_plan",
+]
+
+#: Target non-zeros per split of the default policy.  Matrix-derived
+#: (never host-derived), so the same matrix gets the same split points
+#: everywhere — a precondition for cross-host reproducibility of the
+#: plan structure.
+MPCSR_NNZ_PER_SPLIT = 1 << 16
+
+#: Upper bound on the default split count (the fix-up pass is O(splits)).
+MPCSR_MAX_SPLITS = 256
+
+
+def default_split_count(nnz: int) -> int:
+    """The deterministic nnz-based split policy."""
+    return int(min(MPCSR_MAX_SPLITS, max(1, 1 + nnz // MPCSR_NNZ_PER_SPLIT)))
+
+
+class MPCSRMatrix(SparseMatrix):
+    """CSR arrays plus an nnz-balanced split plan.
+
+    Parameters
+    ----------
+    indptr, indices, data:
+        Canonical CSR arrays (row-major, ascending columns per row).
+    n_splits:
+        Number of nnz-balanced pieces; defaults to
+        :func:`default_split_count`.  Pass explicitly to force the
+        bisection/fix-up path on small matrices (tests, benchmarks).
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: tuple[int, int],
+        *,
+        n_splits: int | None = None,
+    ) -> None:
+        self.shape = check_shape(shape)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        if self.indptr.size != self.n_rows + 1:
+            raise ValidationError(
+                f"indptr has length {self.indptr.size}, expected "
+                f"{self.n_rows + 1}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValidationError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValidationError("indptr must be non-decreasing")
+        if self.indices.size != self.data.size:
+            raise ValidationError("indices and data must have equal lengths")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.n_cols
+        ):
+            raise ValidationError("column index out of range")
+        if n_splits is None:
+            n_splits = default_split_count(self.data.size)
+        n_splits = int(n_splits)
+        if n_splits < 1:
+            raise ValidationError(f"n_splits must be >= 1, got {n_splits}")
+        self.n_splits, self.split_entry, self.split_first_row = (
+            self._split_plan(n_splits)
+        )
+        #: Rows with a split point strictly inside them: their output is
+        #: assembled by the carry fix-up pass, in split order.
+        self.bisected_rows = self._bisected()
+
+    # ------------------------------------------------------------------
+    # Split-plan construction
+    # ------------------------------------------------------------------
+
+    def _split_plan(
+        self, n_splits: int
+    ) -> tuple[int, np.ndarray, np.ndarray]:
+        nnz = self.data.size
+        if nnz == 0:
+            return 1, np.array([0, 0], dtype=np.int64), np.zeros(
+                1, dtype=np.int64
+            )
+        n_splits = min(n_splits, nnz)
+        # Equal-entry cut points on the raw entry range — the defining
+        # property: cuts may bisect rows.
+        split_entry = np.rint(
+            np.linspace(0, nnz, n_splits + 1)
+        ).astype(np.int64)
+        split_entry = np.unique(split_entry)
+        n_splits = split_entry.size - 1
+        # Row containing each piece's first entry (the row a piece
+        # resumes in when the cut bisected it).
+        split_first_row = (
+            np.searchsorted(self.indptr, split_entry[:-1], side="right") - 1
+        ).astype(np.int64)
+        split_first_row = np.maximum(split_first_row, 0)
+        return n_splits, split_entry, split_first_row
+
+    def _bisected(self) -> np.ndarray:
+        interior = self.split_entry[1:-1]
+        if interior.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        rows = np.searchsorted(self.indptr, interior, side="right") - 1
+        on_boundary = self.indptr[rows] == interior
+        return np.unique(rows[~on_boundary]).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_coo(
+        cls, coo: COOMatrix, *, n_splits: int | None = None
+    ) -> "MPCSRMatrix":
+        """Build from a (row-sorted) COO matrix."""
+        csr = CSRMatrix.from_coo(coo)
+        return cls(
+            csr.indptr, csr.indices, csr.data, csr.shape, n_splits=n_splits
+        )
+
+    # ------------------------------------------------------------------
+    # SparseMatrix interface
+    # ------------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return self.data.size
+
+    @property
+    def nbytes(self) -> int:
+        return self._array_bytes(
+            self.indptr, self.indices, self.data,
+            self.split_entry, self.split_first_row,
+        )
+
+    def _build_plan(self):
+        from repro.exec.plan import MPCSRPlan
+
+        return MPCSRPlan(self)
+
+    def to_coo(self) -> COOMatrix:
+        rows = np.repeat(
+            np.arange(self.n_rows, dtype=np.int64), np.diff(self.indptr)
+        )
+        return COOMatrix(
+            rows, self.indices.copy(), self.data.copy(), self.shape
+        )
+
+    def _compute_row_lengths(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+
+def mpcsr_tune_candidate(matrix) -> bool:
+    """Tuner-grid predicate: merge-path pays where row granularity
+    cannot balance the work — a hub row dominating the mean."""
+    if matrix.nnz == 0 or matrix.n_rows == 0:
+        return False
+    lengths = matrix.row_lengths()
+    mean = matrix.nnz / max(1, matrix.n_rows)
+    return bool(int(lengths.max()) >= 8 * max(1.0, mean))
+
+
+def native_mpcsr_plan(matrix):
+    """Registry hook: the numba merge-path plan for this format."""
+    from repro.exec.native import NativeMPCSRPlan
+
+    return NativeMPCSRPlan(matrix)

@@ -1,0 +1,112 @@
+"""§5 cost-model extensions for the load-balanced format zoo.
+
+The selector expresses every kernel as a set of workload rectangles
+fed to the Equations 1–5 machinery (see :mod:`repro.core.selector`).
+This module computes those rectangles for the three load-balanced
+formats — CMRS strips, adaptive row groups, merge-path splits — plus
+the merge-path fix-up overhead that the rectangle model cannot see.
+
+Each helper mirrors the *actual* layout the format builder produces
+(strip height, occupancy-targeted group boundaries, the deterministic
+split-count policy), so the model prices the layout that would really
+run, not an idealisation of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.spec import DeviceSpec
+
+__all__ = [
+    "group_workload_arrays",
+    "merge_path_workload_arrays",
+    "split_overhead_seconds",
+    "strip_workload_arrays",
+]
+
+
+def strip_workload_arrays(
+    row_lengths: np.ndarray, strip_rows: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CMRS strip rectangles: ``(widths, heights, nnz)`` per strip.
+
+    ``row_lengths`` must include empty rows (strip membership is
+    positional).  A strip's rectangle is its row count high and its
+    mean occupied length wide; ``nnz`` is the strip's true entry count,
+    so short-row strips are billed for exactly the work they do — the
+    model-visible half of CMRS's occupancy win over one-warp-per-row.
+    """
+    lengths = np.asarray(row_lengths, dtype=np.int64)
+    n_rows = lengths.size
+    strip_rows = int(strip_rows)
+    if n_rows == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    n_strips = -(-n_rows // strip_rows)
+    starts = np.arange(0, n_rows, strip_rows, dtype=np.int64)
+    strip_nnz = np.add.reduceat(lengths, starts)
+    heights = np.full(n_strips, strip_rows, dtype=np.int64)
+    heights[-1] = n_rows - strip_rows * (n_strips - 1)
+    widths = -(-strip_nnz // np.maximum(heights, 1))
+    return np.maximum(widths, 1), heights, strip_nnz
+
+
+def group_workload_arrays(
+    row_lengths: np.ndarray, target: float | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-grouped CSR rectangles: ``(widths, heights, nnz)`` per group.
+
+    Reuses the *builder's own* :func:`~repro.formats.rgcsr.group_boundaries`
+    over the descending-sorted non-empty lengths, so the predicted
+    groups are exactly the groups ``RGCSRMatrix.from_coo`` would build;
+    each group is padded-width wide (its longest row) with its true
+    entry count as ``nnz`` — the padding shows up as wasted slots, the
+    occupancy target bounds how much.
+    """
+    from repro.formats.rgcsr import OCCUPANCY_TARGET, group_boundaries
+
+    lengths = np.asarray(row_lengths, dtype=np.int64)
+    lengths = lengths[lengths > 0]
+    if lengths.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    sorted_lengths = np.sort(lengths)[::-1]
+    bounds = group_boundaries(
+        sorted_lengths, OCCUPANCY_TARGET if target is None else target
+    )
+    edges = np.concatenate([bounds, [sorted_lengths.size]])
+    heights = np.diff(edges)
+    widths = sorted_lengths[bounds]
+    nnz = np.add.reduceat(sorted_lengths, bounds)
+    return widths, heights, nnz
+
+
+def merge_path_workload_arrays(
+    total_nnz: int, n_splits: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge-path rectangles: ``n_splits`` equal-entry height-1 strips.
+
+    The defining property of the decomposition — every split carries
+    ``nnz / n_splits`` entries regardless of degree skew — becomes, in
+    the model, a perfectly uniform workload set: no rectangle is wider
+    than any other, so the max-over-workloads terms of the performance
+    model cannot be dominated by a hub row.
+    """
+    total_nnz = int(total_nnz)
+    n_splits = max(1, min(int(n_splits), max(total_nnz, 1)))
+    cuts = np.rint(np.linspace(0, total_nnz, n_splits + 1)).astype(np.int64)
+    widths = np.maximum(np.diff(cuts), 1)
+    heights = np.ones(n_splits, dtype=np.int64)
+    return widths, heights, np.diff(cuts)
+
+
+def split_overhead_seconds(n_splits: int, device: DeviceSpec) -> float:
+    """Cost of the carry-out/fix-up pass the rectangle model omits.
+
+    Each split publishes at most two carries (partial head/tail row);
+    the serial fix-up replays them in split order, one dependent global
+    round-trip each, after one extra kernel launch.
+    """
+    per_carry = device.global_latency_cycles / device.clock_hz
+    return device.kernel_launch_seconds + 2.0 * int(n_splits) * per_carry

@@ -58,7 +58,11 @@ __all__ = [
 #: §5 kernel classes mapped onto the host storage format that realises
 #: them: the CSR-vector kernel runs off CSR arrays, ELL off the padded
 #: column-major layout, and the tile-composite kernel's CSR+ELL split
-#: is what HYB stores.
+#: is what HYB stores.  Kept as the frozen classic-trio snapshot for
+#: back-compat; the grid itself prunes against the **live**
+#: :func:`repro.formats.registry.model_kernel_map`, so a format
+#: registered with a ``model_kernel`` joins the model-seeded shortlist
+#: with no change here.
 MODEL_FORMAT = {
     "csr-vector": "csr",
     "ell": "ell",
@@ -228,15 +232,39 @@ def _pruned_formats(
     matrix, device: DeviceSpec, table
 ) -> tuple[list[str], str | None, dict[str, str]]:
     """Model-seeded format shortlist: the §5 pick plus the CSR
-    baseline, with statistics-based vetoes recorded per format."""
-    from repro.core.selector import select_kernel
+    baseline plus any registry candidates, with statistics-based
+    vetoes recorded per format.
+
+    Two registry hooks make the grid open to new formats with no code
+    change here: every registered ``model_kernel`` joins the
+    ``select_kernel`` candidate list (the model's pick maps back to
+    its format through the live kernel map), and every
+    ``tune_candidate`` predicate that fires adds its format to the
+    measured shortlist directly.
+    """
+    from repro.core.selector import SELECTABLE, select_kernel
+    from repro.formats.registry import model_kernel_map, specs
 
     skipped: dict[str, str] = {}
-    choice = select_kernel(matrix, device, table=table)
+    kernel_format = model_kernel_map()
+    candidates = tuple(
+        dict.fromkeys((*SELECTABLE, *kernel_format))
+    )
+    choice = select_kernel(matrix, device, table=table, candidates=candidates)
     formats = [BASELINE_FORMAT]
-    picked = MODEL_FORMAT.get(choice.kernel)
+    picked = kernel_format.get(choice.kernel)
     if picked and picked not in formats:
         formats.append(picked)
+    for spec in specs():
+        if spec.tune_candidate is None or spec.name in formats:
+            continue
+        try:
+            wanted = bool(spec.tune_candidate(matrix))
+        except Exception as exc:
+            skipped[spec.name] = f"tune_candidate failed: {exc!r}"
+            continue
+        if wanted:
+            formats.append(spec.name)
     if "ell" in formats and matrix.nnz:
         lengths = matrix.row_lengths()
         padded = int(lengths.max()) * matrix.n_rows

@@ -28,12 +28,19 @@ import pytest
 
 from repro.exec import ShardedExecutor, available_backends
 from repro.formats.coo import COOMatrix
+from repro.formats.registry import format_names, specs
 from repro.graphs.chung_lu import chung_lu_graph
 from repro.graphs.rmat import rmat_graph
 from repro.graphs.synthetic import banded_matrix
 from tests.test_exec_engine import build
 
-ALL_FORMATS = ["coo", "csr", "csc", "ell", "hyb", "dia", "pkt"]
+# Registry-derived sweep: a newly registered format joins every
+# differential row automatically (same source of truth as the exec and
+# sharded suites).
+ALL_FORMATS = sorted(format_names())
+#: Formats whose numpy plan declares the canonical reduceat reduction
+#: order — bitwise against the COO reference even on numpy.
+BITWISE_FORMATS = {spec.name for spec in specs() if spec.bitwise}
 BACKENDS = available_backends()
 SHARD_COUNTS = [1, 2, 4, "auto"]
 N_RHS = 3
@@ -149,12 +156,15 @@ def test_direct_plan_differential(case, fmt, backend):
     plan = matrix.spmv_plan(backend)
     out_v = plan.execute(x)
     out_m = plan.execute_many(X)
-    if backend in ("scipy", "native") or fmt in ("coo", "csr", "csc"):
+    if backend in ("scipy", "native") or fmt in BITWISE_FORMATS:
         # scipy runs csr_matvec everywhere; the native kernels
         # accumulate each row serially in ascending column order —
         # both share the canonical reduction, so every format is
-        # bitwise.  The numpy ELL/HYB/DIA/PKT plans associate the same
-        # per-row products differently: last-ulp only.
+        # bitwise.  On numpy, formats whose spec declares
+        # ``bitwise=True`` (COO/CSR/CSC and the load-balanced zoo)
+        # reproduce the reduceat order exactly; the ELL/HYB/DIA/PKT
+        # plans associate the same per-row products differently:
+        # last-ulp only.
         assert np.array_equal(out_v, ref_v)
         assert np.array_equal(out_m, ref_m)
     else:

@@ -31,6 +31,9 @@ from repro.formats.csr import CSRMatrix
 from repro.mining.hits import hits
 from repro.mining.rwr import random_walk_with_restart
 
+# FORMAT_BUILDERS is a live view over repro.formats.registry, so this
+# sweep — like the differential and sharded suites — follows the
+# registry as its single source of truth.
 ALL_FORMATS = sorted(FORMAT_BUILDERS)
 BACKENDS = available_backends()
 

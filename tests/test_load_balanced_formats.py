@@ -1,0 +1,377 @@
+"""CMRS / row-grouped CSR / merge-path CSR: structure, bitwise plans,
+the merge-path fix-up path, cost-model extensions, zero-alloc steady
+state, and the native kernels (gated on numba availability)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.exec import ShardedExecutor
+from repro.formats.cmrs import CMRS_STRIP_ROWS, CMRSMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.mpcsr import (
+    MPCSRMatrix,
+    default_split_count,
+    mpcsr_tune_candidate,
+)
+from repro.formats.rgcsr import (
+    OCCUPANCY_TARGET,
+    RGCSRMatrix,
+    group_boundaries,
+    rgcsr_tune_candidate,
+)
+
+ZOO = [CMRSMatrix, RGCSRMatrix, MPCSRMatrix]
+
+
+@st.composite
+def coo_matrices(draw, max_dim: int = 24):
+    n_rows = draw(st.integers(1, max_dim))
+    n_cols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, n_rows * n_cols))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return COOMatrix.from_unsorted(
+        rng.integers(0, n_rows, size=nnz),
+        rng.integers(0, n_cols, size=nnz),
+        rng.standard_normal(nnz),
+        (n_rows, n_cols),
+    )
+
+
+def hub_matrix(
+    n: int = 60, hub_nnz: int = 700, tail_nnz: int = 300, seed: int = 7
+) -> COOMatrix:
+    """Row 0 is a hub holding the large majority of the entries."""
+    rng = np.random.default_rng(seed)
+    rows = np.concatenate(
+        [np.zeros(hub_nnz, dtype=np.int64), rng.integers(1, n, tail_nnz)]
+    )
+    cols = rng.integers(0, n, rows.size)
+    return COOMatrix.from_unsorted(
+        rows, cols, rng.standard_normal(rows.size), (n, n)
+    )
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: round-trip and bitwise plan properties
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("cls", ZOO)
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_build_to_coo_rebuild_bitwise(cls, data):
+    """build → to_coo → rebuild reproduces the storage arrays exactly."""
+    coo = data.draw(coo_matrices())
+    first = cls.from_coo(coo)
+    again = cls.from_coo(first.to_coo())
+    back = first.to_coo()
+    assert np.array_equal(back.to_dense(), coo.to_dense())
+    if cls is CMRSMatrix:
+        for attr in ("strip_ptr", "cols", "data", "row_in_strip"):
+            assert np.array_equal(getattr(first, attr), getattr(again, attr))
+    elif cls is MPCSRMatrix:
+        for attr in ("indptr", "indices", "data", "split_entry"):
+            assert np.array_equal(getattr(first, attr), getattr(again, attr))
+    else:
+        assert len(first.groups) == len(again.groups)
+        for g1, g2 in zip(first.groups, again.groups):
+            for attr in ("row_ids", "lengths", "indices", "data"):
+                assert np.array_equal(getattr(g1, attr), getattr(g2, attr))
+
+
+@pytest.mark.parametrize("cls", ZOO)
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_numpy_plan_bitwise_vs_coo_reference(cls, data):
+    """The zoo's numpy plans join the COO plan's reduceat class bit for
+    bit (MPCSR under the default policy: one split, nothing bisected)."""
+    coo = data.draw(coo_matrices())
+    x = np.random.default_rng(
+        data.draw(st.integers(0, 2**31 - 1))
+    ).standard_normal(coo.n_cols)
+    ref = coo.spmv_plan().execute(x)
+    matrix = cls.from_coo(coo)
+    if cls is MPCSRMatrix:
+        assert matrix.bisected_rows.size == 0
+    out = matrix.spmv_plan().execute(x)
+    assert np.array_equal(out, ref)
+    X = np.column_stack([x, -x, 0.5 * x])
+    ref_m = coo.spmv_plan().execute_many(X)
+    assert np.array_equal(matrix.spmv_plan().execute_many(X), ref_m)
+
+
+@pytest.mark.parametrize("cls", ZOO)
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_dense_reference_correctness(cls, data):
+    coo = data.draw(coo_matrices())
+    x = np.random.default_rng(
+        data.draw(st.integers(0, 2**31 - 1))
+    ).standard_normal(coo.n_cols)
+    got = cls.from_coo(coo).spmv(x)
+    np.testing.assert_allclose(got, coo.to_dense() @ x, atol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Structure invariants
+# ----------------------------------------------------------------------
+
+
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_cmrs_strip_structure(data):
+    coo = data.draw(coo_matrices())
+    cmrs = CMRSMatrix.from_coo(coo)
+    assert cmrs.n_strips == -(-coo.n_rows // CMRS_STRIP_ROWS)
+    assert cmrs.nnz == coo.nnz
+    rows = cmrs.entry_rows()
+    # within a strip, one row's entries occupy ascending slots => its
+    # columns appear in ascending order in storage order
+    for r in range(coo.n_rows):
+        cols_r = cmrs.cols[rows == r]
+        assert np.all(np.diff(cols_r) > 0)
+
+
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_rgcsr_occupancy_target_holds_per_group(data):
+    coo = data.draw(coo_matrices())
+    rg = RGCSRMatrix.from_coo(coo)
+    total_rows = 0
+    for g in rg.groups:
+        assert g.nnz >= OCCUPANCY_TARGET * g.lengths.size * g.width
+        assert int(g.lengths.max()) == g.width  # widest row defines it
+        total_rows += g.row_ids.size
+    lengths = np.bincount(coo.rows, minlength=coo.n_rows)
+    assert total_rows == int((lengths > 0).sum())
+    assert rg.occupancy >= OCCUPANCY_TARGET or not rg.groups
+
+
+def test_group_boundaries_explicit():
+    lengths = np.array([100, 90, 70, 62, 40, 10, 10, 1], dtype=np.int64)
+    bounds = group_boundaries(lengths, 0.625)
+    # 100*0.625=62.5 -> rows 90,70 join, 62 opens a new group;
+    # 62*0.625=38.75 -> 40 joins; 10*0.625 -> both 10s; 1 alone.
+    assert bounds.tolist() == [0, 3, 5, 7]
+
+
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_mpcsr_splits_are_nnz_balanced(data):
+    coo = data.draw(coo_matrices())
+    n_splits = data.draw(st.integers(1, 12))
+    m = MPCSRMatrix.from_coo(coo, n_splits=n_splits)
+    widths = np.diff(m.split_entry)
+    assert m.split_entry[0] == 0 and m.split_entry[-1] == coo.nnz
+    if coo.nnz:
+        assert widths.max() - widths.min() <= 1
+
+
+def test_default_split_count_policy():
+    assert default_split_count(0) == 1
+    assert default_split_count(65535) == 1
+    assert default_split_count(65536) == 2
+    assert default_split_count(10**9) == 256  # capped
+
+
+def test_tune_candidate_predicates():
+    hub = hub_matrix()
+    assert mpcsr_tune_candidate(hub)
+    assert rgcsr_tune_candidate(hub)
+    uniform = COOMatrix.from_unsorted(
+        np.repeat(np.arange(20), 3), np.tile(np.arange(3), 20),
+        np.ones(60), (20, 20),
+    )
+    assert not mpcsr_tune_candidate(uniform)
+    assert not rgcsr_tune_candidate(uniform)
+
+
+def test_validation_rejects_bad_arguments():
+    coo = hub_matrix()
+    with pytest.raises(ValidationError):
+        MPCSRMatrix.from_coo(coo, n_splits=0)
+    with pytest.raises(ValidationError):
+        CMRSMatrix.from_coo(coo, strip_rows=0)
+    with pytest.raises(ValidationError):
+        RGCSRMatrix.from_coo(coo, target=0.0)
+
+
+# ----------------------------------------------------------------------
+# Merge-path fix-up: a hub row bisected across many splits
+# ----------------------------------------------------------------------
+
+
+def test_mpcsr_fixup_on_row_spanning_multiple_splits():
+    coo = hub_matrix()
+    m = MPCSRMatrix.from_coo(coo, n_splits=16)
+    assert m.bisected_rows.size > 0
+    assert 0 in m.bisected_rows  # the hub row is cut
+    # the hub row spans several pieces
+    hub_pieces = np.sum(
+        (m.split_entry[:-1] >= m.indptr[0])
+        & (m.split_entry[:-1] < m.indptr[1])
+    )
+    assert hub_pieces >= 3
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal(coo.n_cols)
+    ref = coo.spmv_plan().execute(x)
+    out = m.spmv_plan().execute(x)
+    np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-14)
+    # non-bisected rows still reduce in canonical order: bitwise
+    keep = np.ones(coo.n_rows, dtype=bool)
+    keep[m.bisected_rows] = False
+    assert np.array_equal(out[keep], ref[keep])
+    X = np.column_stack([x, 2.0 * x])
+    ref_m = coo.spmv_plan().execute_many(X)
+    out_m = m.spmv_plan().execute_many(X)
+    np.testing.assert_allclose(out_m, ref_m, rtol=1e-12, atol=1e-14)
+    assert np.array_equal(out_m[:, 0], out)  # SpMM == column-wise SpMV
+
+
+@pytest.mark.parametrize("n_shards", [2, 4])
+def test_mpcsr_bisected_sharded_stays_bitwise(n_shards):
+    """Shards re-slice to canonical COO rows, so even a bisected MPCSR
+    matrix is bit-identical through the sharded executor."""
+    coo = hub_matrix()
+    m = MPCSRMatrix.from_coo(coo, n_splits=16)
+    assert m.bisected_rows.size > 0
+    rng = np.random.default_rng(13)
+    x = rng.standard_normal(coo.n_cols)
+    with ShardedExecutor(coo, n_shards) as ref_ex:
+        ref = ref_ex.spmv(x)
+    with ShardedExecutor(m, n_shards) as ex:
+        assert np.array_equal(ex.spmv(x), ref)
+
+
+# ----------------------------------------------------------------------
+# Zero-allocation steady state
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("cls", ZOO)
+def test_zero_alloc_steady_state(cls):
+    coo = hub_matrix()
+    matrix = cls.from_coo(coo) if cls is not MPCSRMatrix else (
+        MPCSRMatrix.from_coo(coo, n_splits=16)
+    )
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal(coo.n_cols)
+    out = np.empty(coo.n_rows)
+    plan = matrix.spmv_plan()
+    for _ in range(3):
+        plan.execute(x, out=out)
+    warm = plan.pool.allocations
+    for _ in range(5):
+        plan.execute(x, out=out)
+    assert plan.pool.allocations == warm
+
+
+# ----------------------------------------------------------------------
+# §5 cost-model extensions
+# ----------------------------------------------------------------------
+
+
+def test_selector_prices_the_zoo_kernels():
+    from repro.core.selector import MODELED, select_kernel
+    from repro.gpu.spec import DeviceSpec
+
+    choice = select_kernel(
+        hub_matrix(), DeviceSpec.tesla_c1060(), candidates=MODELED
+    )
+    for kernel in ("cmrs", "rgcsr", "csr-mergepath"):
+        seconds = choice.predictions[kernel]
+        assert isinstance(seconds, float)
+        assert np.isfinite(seconds) and seconds > 0
+
+
+def test_merge_path_model_is_skew_invariant():
+    """The defining property, visible in the model: a hub matrix and a
+    uniform matrix with equal nnz get identical merge-path workloads."""
+    from repro.gpu.load_balance import merge_path_workload_arrays
+
+    w1, h1, n1 = merge_path_workload_arrays(1000, 8)
+    w2, h2, n2 = merge_path_workload_arrays(1000, 8)
+    assert np.array_equal(w1, w2) and np.array_equal(n1, n2)
+    assert int(w1.max() - w1.min()) <= 1
+    assert np.all(h1 == 1)
+
+
+def test_group_workloads_match_builder_layout():
+    from repro.gpu.load_balance import group_workload_arrays
+
+    coo = hub_matrix()
+    rg = RGCSRMatrix.from_coo(coo)
+    widths, heights, nnz = group_workload_arrays(coo.row_lengths())
+    assert len(widths) == len(rg.groups)
+    for i, g in enumerate(rg.groups):
+        assert widths[i] == g.width
+        assert heights[i] == g.row_ids.size
+        assert nnz[i] == g.nnz
+
+
+def test_strip_workloads_cover_all_entries():
+    from repro.gpu.load_balance import strip_workload_arrays
+
+    coo = hub_matrix()
+    widths, heights, nnz = strip_workload_arrays(
+        coo.row_lengths(), CMRS_STRIP_ROWS
+    )
+    assert int(nnz.sum()) == coo.nnz
+    assert int(heights.sum()) == coo.n_rows
+
+
+def test_split_overhead_grows_with_splits():
+    from repro.gpu.load_balance import split_overhead_seconds
+    from repro.gpu.spec import DeviceSpec
+
+    dev = DeviceSpec.tesla_c1060()
+    assert split_overhead_seconds(256, dev) > split_overhead_seconds(1, dev)
+
+
+# ----------------------------------------------------------------------
+# Native kernels (skipped without numba)
+# ----------------------------------------------------------------------
+
+
+needs_native = pytest.mark.skipif(
+    not pytest.importorskip("repro.exec.native").native_available(),
+    reason="numba not installed",
+)
+
+
+@needs_native
+@pytest.mark.parametrize("fmt_cls", ZOO)
+def test_native_plans_bitwise_vs_native_coo(fmt_cls):
+    from repro.exec.native import NativeBackend
+
+    backend = NativeBackend()
+    coo = hub_matrix()
+    rng = np.random.default_rng(17)
+    x = rng.standard_normal(coo.n_cols)
+    ref = backend.build_plan(coo).execute(x)
+    matrix = fmt_cls.from_coo(coo)
+    out = backend.build_plan(matrix).execute(x)
+    assert np.array_equal(out, ref)
+
+
+@needs_native
+def test_native_mpcsr_fixup_bisected():
+    from repro.exec.native import NativeBackend, NativeMPCSRPlan
+
+    backend = NativeBackend()
+    coo = hub_matrix()
+    m = MPCSRMatrix.from_coo(coo, n_splits=16)
+    assert m.bisected_rows.size > 0
+    plan = backend.build_plan(m)
+    assert type(plan) is NativeMPCSRPlan
+    rng = np.random.default_rng(19)
+    x = rng.standard_normal(coo.n_cols)
+    ref = backend.build_plan(coo).execute(x)
+    out = plan.execute(x)
+    np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-14)
+    keep = np.ones(coo.n_rows, dtype=bool)
+    keep[m.bisected_rows] = False
+    assert np.array_equal(out[keep], ref[keep])

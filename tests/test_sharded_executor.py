@@ -29,6 +29,8 @@ from repro.mining.pagerank import pagerank, pagerank_operator
 from repro.mining.rwr import random_walk_with_restart
 from tests.test_exec_engine import build, random_coo
 
+# Live registry view — same source of truth as the exec/differential
+# suites; newly registered formats are swept automatically.
 ALL_FORMATS = sorted(FORMAT_BUILDERS)
 BACKENDS = available_backends()
 SHARD_COUNTS = [1, 2, 3, 7, 64]  # 64 > n_rows of the 40-row fixture

@@ -1,0 +1,39 @@
+"""The smallest possible third-party format plugin.
+
+Installed (``pip install ./tools/toy_format_plugin``), its entry point
+under the ``repro.formats`` group is discovered at
+``repro.formats.registry`` import time and the format becomes a
+first-class citizen: ``to_format(matrix, "toycoo")`` works, it appears
+in ``repro formats``, the differential test matrix sweeps it, and the
+multi-GPU memory accounting probes it — with zero changes to the core
+package.  CI's registry job installs this package and asserts exactly
+that.
+"""
+
+from repro.formats.coo import COOMatrix
+from repro.formats.registry import FormatSpec
+
+__all__ = ["ToyCOOMatrix", "format_specs"]
+
+
+class ToyCOOMatrix(COOMatrix):
+    """Row-sorted COO re-badged — storage identical, identity distinct."""
+
+
+def _build(coo, **_options):
+    return ToyCOOMatrix(
+        coo.rows.copy(), coo.cols.copy(), coo.data.copy(), coo.shape
+    )
+
+
+def format_specs():
+    """Entry-point factory: a list of specs to register."""
+    return [
+        FormatSpec(
+            name="toycoo",
+            cls=ToyCOOMatrix,
+            build=_build,
+            description="toy plugin: COO via the repro.formats entry point",
+            bitwise=True,
+        )
+    ]
