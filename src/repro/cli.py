@@ -30,6 +30,13 @@ Small, scriptable entry points over the library's main flows:
     pinned-iteration PageRank at a configurable shard-failure rate,
     checkpoint/resume, and a node-failure drill — each must recover
     bit-identically.
+``fit``
+    Fit a declarative :class:`~repro.graphs.fit.ScenarioSpec` from a
+    MatrixMarket file (or a synthetic R-MAT graph), print the fitted
+    structure table and optionally write the spec JSON.
+``scenarios``
+    List the curated scenario corpus, or generate one scenario (or a
+    user-supplied spec file) as a seeded MatrixMarket matrix.
 """
 
 from __future__ import annotations
@@ -232,6 +239,56 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--out", default=None, metavar="FILE",
         help="write the JSON report here (default: print to stdout)",
+    )
+
+    fit_p = sub.add_parser(
+        "fit",
+        help="fit a declarative scenario spec from a matrix and "
+        "optionally write it as JSON",
+    )
+    fit_p.add_argument(
+        "matrix", nargs="?", default=None, metavar="MATRIX.mtx",
+        help="MatrixMarket file to fit (or use --rmat)",
+    )
+    fit_p.add_argument(
+        "--rmat", action="store_true",
+        help="fit a synthetic R-MAT graph instead of a file",
+    )
+    fit_p.add_argument(
+        "--nodes", type=int, default=4096, help="R-MAT vertex count"
+    )
+    fit_p.add_argument(
+        "--edges", type=int, default=65536, help="R-MAT edge draws"
+    )
+    fit_p.add_argument("--seed", type=int, default=7)
+    fit_p.add_argument(
+        "--name", default=None, help="spec name (default: file stem)"
+    )
+    fit_p.add_argument(
+        "--out", default=None, metavar="SPEC.json",
+        help="write the fitted spec JSON here",
+    )
+
+    scen = sub.add_parser(
+        "scenarios",
+        help="list the scenario corpus or generate one scenario",
+    )
+    scen.add_argument(
+        "--generate", default=None, metavar="NAME",
+        help="generate this corpus scenario instead of listing",
+    )
+    scen.add_argument(
+        "--spec", default=None, metavar="SPEC.json",
+        help="generate from a spec JSON file instead of a corpus name",
+    )
+    scen.add_argument(
+        "--scale", type=float, default=1.0,
+        help="size multiplier for generation (default: 1.0)",
+    )
+    scen.add_argument("--seed", type=int, default=0)
+    scen.add_argument(
+        "--out", default=None, metavar="MATRIX.mtx",
+        help="write the generated matrix here (MatrixMarket)",
     )
     return parser
 
@@ -569,6 +626,119 @@ def _cmd_chaos(args) -> int:
     return 0 if summary["all_survived"] else 1
 
 
+def _spec_rows(spec):
+    """Table rows for one ScenarioSpec (shared by fit/scenarios)."""
+    def _opt(value):
+        return "-" if value is None else value
+
+    return [
+        ["shape", f"{spec.n_rows:,} x {spec.n_cols:,}"],
+        ["nnz", f"{spec.nnz:,}"],
+        ["density", spec.density],
+        ["row exponent", _opt(spec.row_exponent)],
+        ["col exponent", _opt(spec.col_exponent)],
+        ["bandedness", spec.bandedness],
+        ["half bandwidth", spec.half_bandwidth],
+        ["components", spec.n_components],
+        ["symmetry", spec.symmetry],
+        ["empty-row fraction", spec.empty_row_fraction],
+        ["hub row share", spec.hub_row_share],
+        ["hub col share", spec.hub_col_share],
+        ["row Gini", _opt(spec.row_gini)],
+        ["col Gini", _opt(spec.col_gini)],
+        ["tags", ", ".join(spec.tags) or "-"],
+    ]
+
+
+def _cmd_fit(args) -> int:
+    from repro.errors import ValidationError
+    from repro.graphs.fit import fit
+
+    if args.rmat == (args.matrix is not None):
+        raise ValidationError(
+            "pass exactly one input: a MatrixMarket path or --rmat"
+        )
+    if args.rmat:
+        from repro.graphs.rmat import rmat_graph
+
+        matrix = rmat_graph(args.nodes, args.edges, seed=args.seed)
+        name = args.name or "rmat"
+        spec = fit(matrix, name=name)
+        source = f"rmat(nodes={args.nodes}, edges={args.edges}, " \
+                 f"seed={args.seed})"
+    else:
+        spec = fit(args.matrix, name=args.name)
+        source = args.matrix
+    # Write the artifact before printing: a closed stdout pipe must
+    # not lose the spec.
+    if args.out:
+        spec.to_json(args.out)
+    print(ascii_table(
+        ["property", "value"], _spec_rows(spec),
+        title=f"Fitted scenario spec of {source}", precision=4,
+    ))
+    if args.out:
+        print(f"spec written to {args.out}")
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.errors import ValidationError
+    from repro.graphs import scenarios
+    from repro.graphs.fit import ScenarioSpec, generate
+
+    if args.generate and args.spec:
+        raise ValidationError(
+            "pass --generate NAME or --spec FILE, not both"
+        )
+    if args.generate or args.spec:
+        if args.spec:
+            spec = ScenarioSpec.from_json(args.spec)
+        else:
+            spec = scenarios.get_scenario(args.generate)
+        matrix = generate(spec, scale=args.scale, seed=args.seed)
+        print(f"generated {spec.name!r} at scale {args.scale:g} "
+              f"(seed {args.seed}): shape {matrix.shape}, "
+              f"nnz {matrix.nnz:,}")
+        if args.out:
+            from repro.io.matrix_market import write_matrix_market
+
+            write_matrix_market(matrix, args.out)
+            print(f"matrix written to {args.out}")
+        return 0
+    rows = []
+    for spec in scenarios.corpus():
+        structure = []
+        if spec.row_exponent or spec.col_exponent:
+            exponent = spec.row_exponent or spec.col_exponent
+            structure.append(f"powerlaw γ={exponent:g}")
+        if spec.bandedness:
+            structure.append(f"band hb={spec.half_bandwidth}")
+        if spec.n_components > 1:
+            structure.append(f"{spec.n_components} blocks")
+        if spec.symmetry:
+            structure.append(f"sym {spec.symmetry:g}")
+        if spec.empty_row_fraction:
+            structure.append(f"{spec.empty_row_fraction:.0%} empty rows")
+        if spec.hub_row_share or spec.hub_col_share:
+            share = max(spec.hub_row_share, spec.hub_col_share)
+            structure.append(f"hub {share:g}")
+        rows.append([
+            spec.name,
+            f"{spec.n_rows} x {spec.n_cols}",
+            f"{spec.nnz:,}",
+            "yes" if spec.adversarial else "",
+            "; ".join(structure) or "uniform",
+        ])
+    print(ascii_table(
+        ["scenario", "shape", "nnz", "adversarial", "structure"],
+        rows,
+        title=f"Scenario corpus ({len(rows)} scenarios, "
+        f"{len(scenarios.adversarial_names())} adversarial)",
+    ))
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "formats": _cmd_formats,
@@ -579,6 +749,8 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "tune": _cmd_tune,
     "chaos": _cmd_chaos,
+    "fit": _cmd_fit,
+    "scenarios": _cmd_scenarios,
 }
 
 

@@ -14,13 +14,27 @@ shipped here, so this package generates structural analogues:
   names to scaled generators with matched shape statistics,
 * :mod:`repro.graphs.stats` — power-law fitting and skew diagnostics
   used to validate that the analogues have the structure the paper's
-  optimisations exploit.
+  optimisations exploit,
+* :mod:`repro.graphs.fit` — declarative :class:`ScenarioSpec`: fit the
+  structure of any real matrix, serialise it as JSON, regenerate
+  seeded synthetic twins at any scale,
+* :mod:`repro.graphs.scenarios` — the curated scenario corpus (base +
+  adversarial structure long tail) that the differential/chaos/tuner
+  sweeps and ``bench_scenarios.py`` run over.
 """
 
-from repro.graphs import datasets, stats
+from repro.graphs import datasets, scenarios, stats
 from repro.graphs.chung_lu import chung_lu_graph, powerlaw_weights
 from repro.graphs.datasets import Dataset, list_datasets, load, matched_device
+from repro.graphs.fit import ScenarioSpec, fit, generate
 from repro.graphs.rmat import rmat_edges, rmat_graph
+from repro.graphs.scenarios import (
+    adversarial_names,
+    corpus,
+    generate_scenario,
+    get_scenario,
+    scenario_names,
+)
 from repro.graphs.synthetic import (
     circuit_matrix,
     dense_matrix,
@@ -31,11 +45,18 @@ from repro.graphs.synthetic import (
 
 __all__ = [
     "Dataset",
+    "ScenarioSpec",
+    "adversarial_names",
     "chung_lu_graph",
     "circuit_matrix",
+    "corpus",
     "datasets",
     "dense_matrix",
     "fem_matrix",
+    "fit",
+    "generate",
+    "generate_scenario",
+    "get_scenario",
     "list_datasets",
     "load",
     "lp_matrix",
@@ -44,5 +65,7 @@ __all__ = [
     "protein_matrix",
     "rmat_edges",
     "rmat_graph",
+    "scenario_names",
+    "scenarios",
     "stats",
 ]

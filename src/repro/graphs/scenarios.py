@@ -1,0 +1,173 @@
+"""The curated scenario corpus: the structure long tail, as spec data.
+
+Every scenario is a :class:`~repro.graphs.fit.ScenarioSpec` expressed
+as plain dict data and parsed through the same loud validation as a
+user-supplied JSON spec — the corpus is *data, not code*, so adding a
+scenario never adds a generator.  The base families mirror the paper's
+matrix tables (power-law web/social graphs, meshes, LP matrices); the
+``adversarial`` tag marks deliberately hostile structure (near-dense
+rows, bipartite skew, disconnected components, a single hub,
+empty-row-heavy matrices, staircase bands) that the differential,
+hardening, tuner and chaos sweeps in ``tests/test_scenario_corpus.py``
+and ``benchmarks/bench_scenarios.py`` must all survive.
+
+Sizes here are "scale 1"; sweeps pass ``scale=`` to
+:func:`generate_scenario` to trade fidelity for runtime.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.formats.coo import COOMatrix
+from repro.graphs.fit import ScenarioSpec, generate
+
+__all__ = [
+    "adversarial_names",
+    "corpus",
+    "generate_scenario",
+    "get_scenario",
+    "scenario_names",
+]
+
+#: The corpus as declarative spec payloads.  Parsed (and therefore
+#: validated) once, lazily, on first access.
+_CORPUS_DATA: tuple[dict, ...] = (
+    # ------------------------------------------------------------- base
+    {
+        # Web-crawl style: heavy power law on both axes (paper Table 1).
+        "name": "powerlaw_web",
+        "n_rows": 1024, "n_cols": 1024, "nnz": 8192,
+        "row_exponent": 2.1, "col_exponent": 2.1,
+        "tags": ["base", "powerlaw"],
+    },
+    {
+        # Milder skew, denser rows: social-network-ish degree mix.
+        "name": "powerlaw_mild",
+        "n_rows": 1024, "n_cols": 1024, "nnz": 16384,
+        "row_exponent": 2.6, "col_exponent": 2.6,
+        "tags": ["base", "powerlaw"],
+    },
+    {
+        # No structure at all: the ELL/uniform-friendly baseline.
+        "name": "uniform_sparse",
+        "n_rows": 1024, "n_cols": 1024, "nnz": 8192,
+        "tags": ["base", "uniform"],
+    },
+    {
+        # Narrow diagonal band: PDE-mesh structure, DIA's home turf.
+        "name": "banded_mesh",
+        "n_rows": 1024, "n_cols": 1024, "nnz": 10240,
+        "bandedness": 1.0, "half_bandwidth": 8,
+        "tags": ["base", "banded"],
+    },
+    {
+        # Wide-and-short LP-style rectangle (more cols than rows).
+        "name": "lp_wide",
+        "n_rows": 64, "n_cols": 2048, "nnz": 6144,
+        "tags": ["base", "rectangular"],
+    },
+    {
+        # Undirected social graph: symmetric with power-law degrees.
+        "name": "symmetric_social",
+        "n_rows": 1024, "n_cols": 1024, "nnz": 8192,
+        "row_exponent": 2.3, "col_exponent": 2.3, "symmetry": 0.5,
+        "tags": ["base", "powerlaw", "symmetric"],
+    },
+    {
+        # Small and dense: the cache-resident corner of the space.
+        "name": "dense_block",
+        "n_rows": 128, "n_cols": 128, "nnz": 4096,
+        "tags": ["base", "dense"],
+    },
+    # ------------------------------------------------ adversarial tail
+    {
+        # A few near-dense rows on a sparse background: ELL padding
+        # poison and the worst case for row-parallel load balance.
+        "name": "near_dense_rows",
+        "n_rows": 1024, "n_cols": 1024, "nnz": 6144,
+        "row_exponent": 1.6,
+        "tags": ["adversarial", "skew"],
+    },
+    {
+        # Tall-skinny bipartite with a power-law column head: many rows
+        # hash into few hot columns.
+        "name": "bipartite_skew",
+        "n_rows": 2048, "n_cols": 512, "nnz": 12288,
+        "col_exponent": 1.9,
+        "tags": ["adversarial", "rectangular", "skew"],
+    },
+    {
+        # Four disconnected diagonal blocks: partitioners and
+        # components-unaware shard balancing trip here.
+        "name": "disconnected_components",
+        "n_rows": 1024, "n_cols": 1024, "nnz": 8192,
+        "n_components": 4,
+        "tags": ["adversarial", "blocks"],
+    },
+    {
+        # One row holds ~30% of all entries: a single straggler shard.
+        "name": "single_hub",
+        "n_rows": 1024, "n_cols": 1024, "nnz": 3072,
+        "hub_row_share": 0.3,
+        "tags": ["adversarial", "hub"],
+    },
+    {
+        # 60% empty rows: offset arrays full of zero-length segments.
+        "name": "empty_row_heavy",
+        "n_rows": 1024, "n_cols": 1024, "nnz": 6144,
+        "empty_row_fraction": 0.6,
+        "tags": ["adversarial", "empty"],
+    },
+    {
+        # Six banded diagonal blocks: a staircase that defeats both a
+        # single-band DIA layout and naive block detection.
+        "name": "staircase_banded",
+        "n_rows": 1024, "n_cols": 1024, "nnz": 8192,
+        "n_components": 6, "bandedness": 1.0, "half_bandwidth": 6,
+        "tags": ["adversarial", "banded", "blocks"],
+    },
+)
+
+_parsed: dict[str, ScenarioSpec] | None = None
+
+
+def corpus() -> tuple[ScenarioSpec, ...]:
+    """All corpus scenarios, parsed and validated, in stable order."""
+    global _parsed
+    if _parsed is None:
+        specs = [ScenarioSpec.from_dict(d) for d in _CORPUS_DATA]
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValidationError("corpus has duplicate scenario names")
+        _parsed = {s.name: s for s in specs}
+    return tuple(_parsed.values())
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Names of every corpus scenario, in stable order."""
+    return tuple(s.name for s in corpus())
+
+
+def adversarial_names() -> tuple[str, ...]:
+    """Names of the adversarial subset."""
+    return tuple(s.name for s in corpus() if s.adversarial)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up one scenario by name, loudly."""
+    corpus()
+    assert _parsed is not None
+    try:
+        return _parsed[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(scenario_names())}"
+        ) from None
+
+
+def generate_scenario(
+    name: str, *, scale: float = 1.0, seed: int = 0
+) -> COOMatrix:
+    """Generate the named scenario's matrix (seeded, bit-reproducible)."""
+    return generate(get_scenario(name), scale=scale, seed=seed)

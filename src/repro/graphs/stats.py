@@ -30,14 +30,21 @@ def powerlaw_mle(degrees: np.ndarray, *, k_min: int = 1) -> float:
     """Maximum-likelihood power-law exponent (discrete Hill estimator).
 
     ``alpha = 1 + n / sum(ln(k_i / (k_min - 0.5)))`` over degrees
-    ``k_i >= k_min`` (Clauset–Shalizi–Newman).  Returns ``inf`` when no
-    degree exceeds ``k_min`` (degenerate, definitely not a power law).
+    ``k_i >= k_min`` (Clauset–Shalizi–Newman).
+
+    Degenerate sequences get a defined sentinel instead of a warning or
+    a misleading finite value: the result is ``inf`` when fewer than
+    two *distinct* degrees survive the cutoff — an all-zero matrix, a
+    single row, or perfectly uniform degrees have no tail to estimate
+    and are definitely not a power law.
     """
-    degs = np.asarray(degrees, dtype=np.float64)
-    degs = degs[degs >= k_min]
     if k_min <= 0:
         raise ValidationError("k_min must be positive")
-    if degs.size == 0:
+    degs = np.asarray(degrees, dtype=np.float64)
+    if degs.size and np.any(degs < 0):
+        raise ValidationError("degrees must be non-negative")
+    degs = degs[degs >= k_min]
+    if degs.size == 0 or np.unique(degs).size < 2:
         return np.inf
     logs = np.log(degs / (k_min - 0.5))
     total = logs.sum()
@@ -62,10 +69,11 @@ def gini(values: np.ndarray) -> float:
     → 1 = all mass on one item).  A convenient scalar for "how skewed
     are the column lengths"."""
     vals = np.sort(np.asarray(values, dtype=np.float64))
+    if vals.size and vals[0] < 0:  # validate before the zero-sum return:
+        # [-1, 1] sums to zero and must not silently read as "uniform".
+        raise ValidationError("gini requires non-negative values")
     if vals.size == 0 or vals.sum() == 0:
         return 0.0
-    if np.any(vals < 0):
-        raise ValidationError("gini requires non-negative values")
     n = vals.size
     index = np.arange(1, n + 1)
     return float((2 * np.dot(index, vals) / (n * vals.sum())) - (n + 1) / n)

@@ -30,7 +30,11 @@ from repro.tuner.cache import (
     default_cache_path,
     resolve_cache_path,
 )
-from repro.tuner.fingerprint import environment_key, matrix_fingerprint
+from repro.tuner.fingerprint import (
+    environment_key,
+    matrix_fingerprint,
+    spec_fingerprint,
+)
 from repro.tuner.tuner import (
     MODEL_FORMAT,
     TunedEngine,
@@ -50,5 +54,6 @@ __all__ = [
     "environment_key",
     "matrix_fingerprint",
     "resolve_cache_path",
+    "spec_fingerprint",
     "tune",
 ]

@@ -22,7 +22,7 @@ import numpy as np
 from repro.exec.backends import available_backends, default_backend_name
 from repro.version import __version__
 
-__all__ = ["environment_key", "matrix_fingerprint"]
+__all__ = ["environment_key", "matrix_fingerprint", "spec_fingerprint"]
 
 
 def _histogram_crc(matrix) -> int:
@@ -53,6 +53,23 @@ def matrix_fingerprint(matrix) -> str:
         f"{matrix.n_rows}x{matrix.n_cols}-nnz{matrix.nnz}"
         f"-{dtype}-{_histogram_crc(matrix):08x}"
     )
+
+
+def spec_fingerprint(spec, *, scale: float = 1.0, seed: int = 0) -> str:
+    """Fingerprint of the matrix a scenario spec *would* generate.
+
+    Generation is seeded and bit-reproducible, so the fingerprint of
+    ``generate(spec, scale=..., seed=...)`` is a pure function of the
+    ``(spec, scale, seed)`` triple — this realises the triple and
+    fingerprints the result, which is exactly the key that
+    :func:`repro.tuner.tune` will compute when handed the generated
+    matrix.  Two same-spec twins at different scales therefore key
+    different cache rows (no false hits), while regenerating the same
+    triple anywhere hits the same row.
+    """
+    from repro.graphs.fit import generate
+
+    return matrix_fingerprint(generate(spec, scale=scale, seed=seed))
 
 
 def environment_key() -> dict:

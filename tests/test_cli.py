@@ -146,3 +146,92 @@ class TestChaos:
         code, _, err = run(capsys, "chaos", "--quick", "--failure-rate", "1.5")
         assert code != 0
         assert "fault probability must be in [0, 1]" in err
+
+
+class TestFitCommand:
+    def test_rmat_fit_prints_structure(self, capsys):
+        code, out, _ = run(
+            capsys, "fit", "--rmat", "--nodes", "512",
+            "--edges", "4096", "--seed", "3",
+        )
+        assert code == 0
+        assert "Fitted scenario spec" in out
+        assert "row exponent" in out
+
+    def test_fit_writes_loadable_spec(self, capsys, tmp_path):
+        from repro.graphs.fit import ScenarioSpec, generate
+        from repro.graphs.scenarios import generate_scenario
+        from repro.io.matrix_market import write_matrix_market
+
+        matrix = generate_scenario("banded_mesh", scale=0.25, seed=5)
+        mtx = tmp_path / "banded.mtx"
+        write_matrix_market(matrix, mtx)
+        spec_path = tmp_path / "spec.json"
+        code, out, _ = run(
+            capsys, "fit", str(mtx), "--out", str(spec_path)
+        )
+        assert code == 0
+        assert spec_path.exists()
+        spec = ScenarioSpec.from_json(spec_path)
+        assert spec.name == "banded"
+        assert spec.bandedness > 0.5
+        assert generate(spec, seed=1).nnz > 0
+
+    def test_fit_requires_exactly_one_input(self, capsys):
+        code, _, err = run(capsys, "fit")
+        assert code == 2
+        assert "exactly one input" in err
+
+    def test_fit_missing_file_fails_cleanly(self, capsys):
+        code, _, err = run(capsys, "fit", "/nonexistent/m.mtx")
+        assert code == 2
+        assert "error:" in err
+
+
+class TestScenariosCommand:
+    def test_lists_corpus_with_floors(self, capsys):
+        from repro.graphs import scenarios
+
+        code, out, _ = run(capsys, "scenarios")
+        assert code == 0
+        for name in scenarios.scenario_names():
+            assert name in out
+        assert "adversarial" in out
+
+    def test_generate_writes_matrix(self, capsys, tmp_path):
+        from repro.io.matrix_market import read_matrix_market
+
+        out_path = tmp_path / "hub.mtx"
+        code, out, _ = run(
+            capsys, "scenarios", "--generate", "single_hub",
+            "--scale", "0.25", "--seed", "9", "--out", str(out_path),
+        )
+        assert code == 0
+        matrix = read_matrix_market(out_path)
+        assert matrix.shape == (256, 256)
+        assert matrix.nnz > 0
+
+    def test_generate_from_spec_file(self, capsys, tmp_path):
+        from repro.graphs.scenarios import get_scenario
+
+        spec_path = tmp_path / "spec.json"
+        get_scenario("uniform_sparse").to_json(spec_path)
+        code, out, _ = run(
+            capsys, "scenarios", "--spec", str(spec_path),
+            "--scale", "0.1",
+        )
+        assert code == 0
+        assert "uniform_sparse" in out
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        code, _, err = run(capsys, "scenarios", "--generate", "nope")
+        assert code == 2
+        assert "unknown scenario" in err
+
+    def test_generate_and_spec_are_exclusive(self, capsys, tmp_path):
+        code, _, err = run(
+            capsys, "scenarios", "--generate", "single_hub",
+            "--spec", str(tmp_path / "x.json"),
+        )
+        assert code == 2
+        assert "not both" in err

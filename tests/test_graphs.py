@@ -151,6 +151,65 @@ class TestStats:
         with pytest.raises(ValidationError):
             stats.powerlaw_mle(np.array([1, 2]), k_min=0)
 
+    def test_mle_validates_k_min_before_filtering(self):
+        # k_min=0 must raise even when the filter would empty the
+        # sequence first (the old code validated after filtering).
+        with pytest.raises(ValidationError):
+            stats.powerlaw_mle(np.array([], dtype=np.int64), k_min=0)
+
+    def test_mle_rejects_negative_degrees(self):
+        with pytest.raises(ValidationError):
+            stats.powerlaw_mle(np.array([3, -1, 2]))
+
+    def test_mle_all_zero_sentinel(self):
+        # All-zero matrix: defined inf sentinel, no warning, no NaN.
+        assert stats.powerlaw_mle(np.zeros(50, dtype=np.int64)) == np.inf
+
+    def test_mle_single_degree_sentinel(self):
+        assert stats.powerlaw_mle(np.array([7])) == np.inf
+
+    def test_mle_uniform_degrees_sentinel(self):
+        # Perfectly uniform degrees have no tail: inf, never a
+        # misleading finite exponent.
+        assert stats.powerlaw_mle(np.full(100, 9)) == np.inf
+
+    def test_mle_empty_sentinel(self):
+        assert stats.powerlaw_mle(np.array([], dtype=np.int64)) == np.inf
+
+    def test_gini_rejects_negative_even_when_sum_is_zero(self):
+        # [-1, 1] sums to zero; it must raise, not read as "uniform".
+        with pytest.raises(ValidationError):
+            stats.gini(np.array([-1.0, 1.0]))
+
+    def test_summarize_degenerate_matrices(self):
+        from repro.formats.coo import COOMatrix
+
+        empty = np.array([], dtype=np.int64)
+        all_zero = COOMatrix.from_unsorted(
+            empty, empty, np.array([]), (8, 8)
+        )
+        single_row = COOMatrix.from_unsorted(
+            np.zeros(3, dtype=np.int64),
+            np.arange(3, dtype=np.int64),
+            np.ones(3),
+            (1, 5),
+        )
+        uniform = COOMatrix.from_unsorted(
+            np.repeat(np.arange(6, dtype=np.int64), 2),
+            np.tile(np.arange(2, dtype=np.int64), 6),
+            np.ones(12),
+            (6, 6),
+        )
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for matrix in (all_zero, single_row, uniform):
+                summary = stats.summarize(matrix)
+                assert not summary.power_law
+                assert not np.isnan(summary.row_exponent)
+                assert not np.isnan(summary.col_exponent)
+
 
 class TestDatasetRegistry:
     def test_all_names_load(self):

@@ -1,0 +1,269 @@
+"""The corpus sweep: every scenario through the whole stack.
+
+Each generated scenario — base families plus the adversarial tail —
+runs through the same contracts the hand-written differential matrix
+enforces, across **every** registry format and every available
+backend:
+
+* direct per-format plans vs the COO reference (bitwise where the
+  reduction order is shared, last-ulp elsewhere),
+* sharded execution bit-identical to single-shard,
+* input hardening loud on poisoned vectors,
+* tuner decisions valid and their engines correct,
+* a chaos cell: shard faults at probability 1.0 must recover
+  bit-identically.
+
+Scenarios are generated at a small scale so tier-1 time stays flat;
+``REPRO_SCENARIO_FULL=1`` unlocks the full-scale sweep tier.
+"""
+
+import functools
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.exec import ShardedExecutor, available_backends
+from repro.formats.registry import format_names, specs
+from repro.graphs import scenarios
+from repro.obs import metrics as metrics_mod
+from repro.obs.metrics import METRICS
+from repro.resilience import FaultSpec
+from repro.resilience import faults as faults_mod
+from repro.resilience.faults import INJECTOR
+from repro.tuner import tune
+from repro.tuner.cache import CACHE_ENV
+from tests.test_exec_engine import build
+
+#: Sweep scale: ~150-row matrices keep the several-hundred-cell sweep
+#: inside tier-1's budget while preserving each family's structure.
+SCALE = 0.15
+SEED = 29
+N_RHS = 2
+
+SCENARIOS = scenarios.scenario_names()
+ALL_FORMATS = sorted(format_names())
+BITWISE_FORMATS = {spec.name for spec in specs() if spec.bitwise}
+BACKENDS = available_backends()
+
+#: Sharded bit-identity is exercised on the canonical format plus one
+#: load-balanced representative; the full format cross-product already
+#: runs in test_differential_matrix.
+SHARDED_FORMATS = ["coo", "mpcsr"]
+
+
+@functools.lru_cache(maxsize=None)
+def scenario_matrix(name: str, scale: float = SCALE):
+    return scenarios.generate_scenario(name, scale=scale, seed=SEED)
+
+
+@functools.lru_cache(maxsize=None)
+def scenario_inputs(name: str, scale: float = SCALE):
+    coo = scenario_matrix(name, scale)
+    rng = np.random.default_rng(sorted(SCENARIOS).index(name) + 1000)
+    x = rng.standard_normal(coo.n_cols)
+    X = rng.standard_normal((coo.n_cols, N_RHS))
+    dense = coo.to_dense()
+    return x, X, dense @ x, dense @ X
+
+
+@functools.lru_cache(maxsize=None)
+def reference(name: str, backend: str, scale: float = SCALE):
+    """Canonical per-backend products: the COO plan."""
+    coo = scenario_matrix(name, scale)
+    x, X, _, _ = scenario_inputs(name, scale)
+    plan = coo.spmv_plan(backend)
+    return plan.execute(x), plan.execute_many(X)
+
+
+def test_corpus_meets_the_sweep_floor():
+    # The acceptance floor of the sweep itself: >= 12 scenarios of
+    # which >= 6 adversarial, all distinct, all generating non-trivial
+    # matrices at sweep scale.
+    assert len(SCENARIOS) >= 12
+    assert len(scenarios.adversarial_names()) >= 6
+    assert len(set(SCENARIOS)) == len(SCENARIOS)
+    for name in SCENARIOS:
+        assert scenario_matrix(name).nnz > 0, name
+
+
+# ----------------------------------------------------------------------
+# Differential bitwise matrix: scenario x format x backend
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_reference_matches_dense(name, backend):
+    ref_v, ref_m = reference(name, backend)
+    _x, _X, dense_v, dense_m = scenario_inputs(name)
+    np.testing.assert_allclose(ref_v, dense_v, rtol=1e-12, atol=1e-13)
+    np.testing.assert_allclose(ref_m, dense_m, rtol=1e-12, atol=1e-13)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_direct_plan_differential(name, fmt, backend):
+    """Same contract as the hand-written differential matrix: bitwise
+    where the reduction order is canonical, last-ulp elsewhere."""
+    matrix = build(fmt, scenario_matrix(name))
+    x, X, _, _ = scenario_inputs(name)
+    ref_v, ref_m = reference(name, backend)
+    plan = matrix.spmv_plan(backend)
+    out_v = plan.execute(x)
+    out_m = plan.execute_many(X)
+    if backend in ("scipy", "native") or fmt in BITWISE_FORMATS:
+        assert np.array_equal(out_v, ref_v), f"{name}/{fmt}/{backend}"
+        assert np.array_equal(out_m, ref_m), f"{name}/{fmt}/{backend}"
+    else:
+        np.testing.assert_allclose(out_v, ref_v, rtol=1e-12, atol=1e-14)
+        np.testing.assert_allclose(out_m, ref_m, rtol=1e-12, atol=1e-14)
+
+
+@pytest.mark.parametrize("fmt", SHARDED_FORMATS)
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_sharded_bit_identical(name, fmt):
+    matrix = build(fmt, scenario_matrix(name))
+    x, X, _, _ = scenario_inputs(name)
+    backend = matrix.spmv_plan().backend
+    ref_v, ref_m = reference(name, backend)
+    for n_shards in (2, "auto"):
+        with ShardedExecutor(matrix, n_shards, backend=backend) as ex:
+            out_v = ex.spmv(x)
+            out_m = ex.spmm(X)
+        label = f"{name}/{fmt} with {n_shards} shards"
+        assert np.array_equal(out_v, ref_v), f"spmv diverged: {label}"
+        assert np.array_equal(out_m, ref_m), f"spmm diverged: {label}"
+
+
+# ----------------------------------------------------------------------
+# Input hardening: loud on every scenario
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_input_hardening_per_scenario(name):
+    matrix = scenario_matrix(name)
+    plan = matrix.spmv_plan()
+    poisoned = np.ones(matrix.n_cols)
+    poisoned[matrix.n_cols // 2] = np.nan
+    with pytest.raises(ValidationError):
+        plan.execute(poisoned)
+    with pytest.raises(ValidationError):
+        plan.execute(np.full(matrix.n_cols, np.inf))
+    if matrix.n_cols >= 2:
+        with pytest.raises(ValidationError):  # negative-stride view
+            plan.execute(np.ones(matrix.n_cols + 4)[::-1][: matrix.n_cols])
+    with pytest.raises(ValidationError):  # wrong length
+        plan.execute(np.ones(matrix.n_cols + 1))
+
+
+# ----------------------------------------------------------------------
+# Tuner decision sanity per scenario
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_tuner_decision_sane_per_scenario(name, tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_ENV, str(tmp_path / "cache.json"))
+    matrix = scenario_matrix(name)
+    backend = matrix.spmv_plan().backend
+    decision = tune(
+        matrix,
+        backends=(backend,),
+        shard_counts=(1,),
+        repeats=1,
+        warmup=0,
+    )
+    assert decision.format in format_names()
+    assert decision.backend == backend
+    assert decision.n_shards == 1
+    assert decision.seconds > 0
+    x, _X, dense_v, _ = scenario_inputs(name)
+    with decision.build_engine(matrix) as engine:
+        np.testing.assert_allclose(
+            engine.spmv(x), dense_v, rtol=1e-12, atol=1e-13
+        )
+    # The decision replays from the cache for the identical twin.
+    again = tune(
+        matrix,
+        backends=(backend,),
+        shard_counts=(1,),
+        repeats=1,
+        warmup=0,
+    )
+    assert again.from_cache
+    assert again.format == decision.format
+
+
+# ----------------------------------------------------------------------
+# Chaos cell: shard faults at p=1.0, bitwise recovery
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def armed():
+    prior_metrics = metrics_mod.enabled()
+    metrics_mod.enable()
+    METRICS.reset()
+    faults_mod.arm()
+    try:
+        yield
+    finally:
+        faults_mod.disarm()
+        INJECTOR.clear()
+        METRICS.reset()
+        if not prior_metrics:
+            metrics_mod.disable()
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_chaos_cell_recovers_bitwise(name, armed):
+    matrix = scenario_matrix(name)
+    x, _X, _, _ = scenario_inputs(name)
+    backend = matrix.spmv_plan().backend
+    ref_v, _ = reference(name, backend)
+    INJECTOR.configure(
+        FaultSpec("shard.task", "error", probability=1.0), seed=SEED
+    )
+    with ShardedExecutor(matrix, 2, backend=backend) as ex:
+        out_v = ex.spmv(x)
+    assert np.array_equal(out_v, ref_v), f"{name} diverged under faults"
+    assert INJECTOR.injected("shard.task") > 0
+    assert METRICS.counter_total("resilience.degraded") > 0
+
+
+# ----------------------------------------------------------------------
+# Full-scale tier (opt-in: REPRO_SCENARIO_FULL=1)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SCENARIO_FULL", "") != "1",
+    reason="full-scale corpus sweep runs only with REPRO_SCENARIO_FULL=1",
+)
+class TestFullScale:
+    """The same differential contract at scale 1.0 — the non-quick
+    tier CI runs in the dedicated scenarios job, keeping tier-1 flat."""
+
+    @pytest.mark.parametrize("fmt", sorted(BITWISE_FORMATS))
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_full_scale_bitwise(self, name, fmt):
+        matrix = build(fmt, scenario_matrix(name, 1.0))
+        x, X, _, _ = scenario_inputs(name, 1.0)
+        backend = matrix.spmv_plan().backend
+        ref_v, ref_m = reference(name, backend, 1.0)
+        plan = matrix.spmv_plan(backend)
+        assert np.array_equal(plan.execute(x), ref_v)
+        assert np.array_equal(plan.execute_many(X), ref_m)
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_full_scale_sharded(self, name):
+        matrix = scenario_matrix(name, 1.0)
+        x, _X, _, _ = scenario_inputs(name, 1.0)
+        backend = matrix.spmv_plan().backend
+        ref_v, _ = reference(name, backend, 1.0)
+        with ShardedExecutor(matrix, "auto", backend=backend) as ex:
+            assert np.array_equal(ex.spmv(x), ref_v)

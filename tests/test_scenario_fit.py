@@ -1,0 +1,330 @@
+"""ScenarioSpec fit/generate round-trip and validation tests.
+
+The contract under test: ``generate(spec, seed)`` is bit-identical
+across calls, specs survive a JSON round trip exactly, corrupt specs
+fail loudly with :class:`ValidationError` *before* generation, and
+``fit(generate(spec))`` recovers each family's defining structure
+within statistical tolerance.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.graphs import scenarios
+from repro.graphs.fit import SCHEMA_VERSION, ScenarioSpec, fit, generate
+
+# ----------------------------------------------------------------------
+# Determinism + serialisation (hypothesis)
+# ----------------------------------------------------------------------
+
+spec_families = st.sampled_from(scenarios.scenario_names())
+
+
+@given(name=spec_families, seed=st.integers(0, 2**40))
+@settings(max_examples=20, deadline=None)
+def test_generate_bit_identical_across_calls(name, seed):
+    spec = scenarios.get_scenario(name)
+    a = generate(spec, scale=0.1, seed=seed)
+    b = generate(spec, scale=0.1, seed=seed)
+    assert np.array_equal(a.rows, b.rows)
+    assert np.array_equal(a.cols, b.cols)
+    assert np.array_equal(a.data, b.data)
+    assert a.shape == b.shape
+
+
+@given(name=spec_families, seed=st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None)
+def test_generate_round_trips_through_json(name, seed):
+    # A spec reloaded from its own JSON is equal and generates the
+    # bit-identical matrix (canonical serialisation, no field drift).
+    spec = scenarios.get_scenario(name)
+    reloaded = ScenarioSpec.from_json(spec.to_json())
+    assert reloaded == spec
+    a = generate(spec, scale=0.1, seed=seed)
+    b = generate(reloaded, scale=0.1, seed=seed)
+    assert np.array_equal(a.rows, b.rows)
+    assert np.array_equal(a.data, b.data)
+
+
+@given(
+    exponent=st.floats(1.8, 3.0),
+    nnz=st.integers(2000, 12000),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=8, deadline=None)
+def test_powerlaw_family_recovery_jittered(exponent, nnz, seed):
+    # Across the whole (exponent, nnz, seed) family — not just the
+    # corpus points — the fitted exponent lands near the target and
+    # the realised density is essentially exact.
+    spec = ScenarioSpec(
+        name="jitter",
+        n_rows=1024,
+        n_cols=1024,
+        nnz=nnz,
+        row_exponent=round(exponent, 3),
+        col_exponent=round(exponent, 3),
+    )
+    matrix = generate(spec, seed=seed)
+    fitted = fit(matrix)
+    assert matrix.nnz == spec.nnz
+    assert fitted.row_exponent is not None
+    assert abs(fitted.row_exponent - exponent) < 0.6
+
+
+def test_different_seeds_differ():
+    a = scenarios.generate_scenario("powerlaw_web", scale=0.2, seed=1)
+    b = scenarios.generate_scenario("powerlaw_web", scale=0.2, seed=2)
+    assert not (
+        np.array_equal(a.rows, b.rows) and np.array_equal(a.cols, b.cols)
+    )
+
+
+def test_spec_json_file_round_trip(tmp_path):
+    spec = scenarios.get_scenario("banded_mesh")
+    path = tmp_path / "spec.json"
+    spec.to_json(path)
+    assert ScenarioSpec.from_json(path) == spec
+
+
+# ----------------------------------------------------------------------
+# Loud validation of corrupt specs
+# ----------------------------------------------------------------------
+
+
+def _payload(**overrides):
+    base = scenarios.get_scenario("powerlaw_web").to_dict()
+    base.update(overrides)
+    return base
+
+
+class TestCorruptSpecs:
+    def test_unknown_field_is_loud(self):
+        # A typoed field must not be silently dropped.
+        with pytest.raises(ValidationError, match="unknown field"):
+            ScenarioSpec.from_dict(_payload(bandedness_=0.5))
+
+    def test_truncated_json_is_loud(self):
+        text = scenarios.get_scenario("powerlaw_web").to_json()[:-20]
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            ScenarioSpec.from_json(text)
+
+    def test_missing_spec_file_is_loud(self, tmp_path):
+        with pytest.raises(ValidationError, match="cannot read"):
+            ScenarioSpec.from_json(tmp_path / "nope.json")
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"n_rows": 0},
+            {"n_rows": "1024"},
+            {"nnz": -5},
+            {"bandedness": 1.5},
+            {"bandedness": 0.5, "half_bandwidth": 0},
+            {"row_exponent": 1.0},
+            {"row_exponent": float("nan")},
+            {"symmetry": 0.5, "n_cols": 999},
+            {"n_components": 0},
+            {"n_components": 5000},
+            {"empty_row_fraction": 1.0},
+            {"hub_row_share": -0.1},
+            {"schema": SCHEMA_VERSION + 1},
+            {"tags": "adversarial"},
+            {"name": ""},
+        ],
+    )
+    def test_bad_field_fails_before_generate(self, overrides):
+        # Every corruption fails at parse/validate time with a
+        # ValidationError — never a crash mid-generate.
+        with pytest.raises(ValidationError):
+            ScenarioSpec.from_dict(_payload(**overrides))
+
+    def test_hand_edited_json_bool_as_int_is_loud(self):
+        payload = _payload()
+        payload["nnz"] = True
+        text = json.dumps(payload)
+        with pytest.raises(ValidationError):
+            ScenarioSpec.from_json(text)
+
+    def test_non_dict_payload_is_loud(self):
+        with pytest.raises(ValidationError):
+            ScenarioSpec.from_dict([1, 2, 3])
+
+
+# ----------------------------------------------------------------------
+# fit() recovery per corpus family
+# ----------------------------------------------------------------------
+
+
+def _generated(name):
+    return generate(scenarios.get_scenario(name), seed=3)
+
+
+class TestFitRecovery:
+    @pytest.mark.parametrize("name", scenarios.scenario_names())
+    def test_density_recovery_exact(self, name):
+        spec = scenarios.get_scenario(name)
+        matrix = generate(spec, seed=3)
+        fitted = fit(matrix, name=name)
+        # Generation thins to the exact target unless the structure
+        # saturates (a narrow band can hold only so many uniques).
+        assert fitted.nnz == matrix.nnz <= spec.nnz
+        assert matrix.nnz >= 0.5 * spec.nnz
+        assert fitted.n_rows == spec.n_rows
+        assert fitted.n_cols == spec.n_cols
+
+    @pytest.mark.parametrize(
+        "name", ["powerlaw_web", "powerlaw_mild", "symmetric_social"]
+    )
+    def test_exponent_recovery(self, name):
+        spec = scenarios.get_scenario(name)
+        fitted = fit(_generated(name))
+        assert fitted.row_exponent is not None
+        assert abs(fitted.row_exponent - spec.row_exponent) < 0.6
+        assert fitted.col_exponent is not None
+        assert abs(fitted.col_exponent - spec.col_exponent) < 0.6
+
+    @pytest.mark.parametrize(
+        "name", ["uniform_sparse", "lp_wide", "banded_mesh"]
+    )
+    def test_no_false_power_law(self, name):
+        fitted = fit(_generated(name))
+        assert fitted.row_exponent is None
+        assert fitted.col_exponent is None
+
+    @pytest.mark.parametrize("name", ["banded_mesh", "staircase_banded"])
+    def test_band_recovery(self, name):
+        spec = scenarios.get_scenario(name)
+        fitted = fit(_generated(name))
+        assert fitted.bandedness > 0.8
+        assert (
+            0.5 * spec.half_bandwidth
+            <= fitted.half_bandwidth
+            <= 2 * spec.half_bandwidth
+        )
+
+    def test_unbanded_fits_unbanded(self):
+        fitted = fit(_generated("uniform_sparse"))
+        assert fitted.bandedness == 0.0
+        assert fitted.half_bandwidth == 0
+
+    @pytest.mark.parametrize(
+        "name", ["disconnected_components", "staircase_banded"]
+    )
+    def test_component_recovery(self, name):
+        spec = scenarios.get_scenario(name)
+        fitted = fit(_generated(name))
+        assert fitted.n_components == spec.n_components
+
+    def test_blocks_do_not_fit_as_band(self):
+        # Diagonal blocks concentrate entries near the diagonal; the
+        # band estimator must not read them as a band.
+        fitted = fit(_generated("disconnected_components"))
+        assert fitted.bandedness == 0.0
+
+    def test_band_does_not_fit_as_symmetry(self):
+        # ~50% band occupancy produces coincidental transpose matches;
+        # the corrected estimate must stay near zero.
+        fitted = fit(_generated("banded_mesh"))
+        assert fitted.symmetry < 0.15
+
+    def test_symmetry_recovery(self):
+        spec = scenarios.get_scenario("symmetric_social")
+        fitted = fit(_generated("symmetric_social"))
+        assert abs(fitted.symmetry - spec.symmetry) < 0.15
+
+    def test_empty_row_recovery(self):
+        spec = scenarios.get_scenario("empty_row_heavy")
+        fitted = fit(_generated("empty_row_heavy"))
+        assert abs(fitted.empty_row_fraction - spec.empty_row_fraction) < 0.05
+        # Uniform live rows must not read as a power law.
+        assert fitted.row_exponent is None
+
+    def test_hub_recovery(self):
+        spec = scenarios.get_scenario("single_hub")
+        fitted = fit(_generated("single_hub"))
+        assert fitted.hub_row_share > 0.15
+        assert fitted.hub_row_share <= spec.hub_row_share + 0.05
+        # The hub is modelled by its share, not a spurious exponent.
+        assert fitted.row_exponent is None
+
+    def test_fit_is_deterministic(self):
+        matrix = _generated("powerlaw_web")
+        assert fit(matrix) == fit(matrix)
+
+    def test_fit_from_mtx_path(self, tmp_path):
+        from repro.io.matrix_market import write_matrix_market
+
+        matrix = _generated("dense_block")
+        path = tmp_path / "dense_block.mtx"
+        write_matrix_market(matrix, path)
+        fitted = fit(path)
+        assert fitted.name == "dense_block"
+        assert fitted.nnz == matrix.nnz
+
+    def test_fit_rejects_non_matrix(self):
+        with pytest.raises(ValidationError):
+            fit(object())
+
+    def test_refit_of_fitted_spec_is_stable(self):
+        # fit -> generate -> fit converges instead of drifting: the
+        # second fit agrees with the first on the defining structure.
+        first = fit(_generated("powerlaw_web"), name="twin")
+        second = fit(generate(first, seed=11), name="twin")
+        assert abs(first.row_exponent - second.row_exponent) < 0.6
+        assert first.bandedness == second.bandedness == 0.0
+        assert first.n_components == second.n_components
+
+
+# ----------------------------------------------------------------------
+# Scaling + corpus shape
+# ----------------------------------------------------------------------
+
+
+class TestScaling:
+    def test_scaled_dimensions(self):
+        spec = scenarios.get_scenario("powerlaw_web")
+        half = generate(spec, scale=0.5, seed=0)
+        assert half.n_rows == spec.n_rows // 2
+        assert half.nnz <= spec.nnz // 2 + 1
+
+    def test_scale_validation(self):
+        spec = scenarios.get_scenario("powerlaw_web")
+        for bad in (0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValidationError):
+                spec.scaled(bad)
+
+    def test_spec_equality_is_field_wise(self):
+        spec = scenarios.get_scenario("powerlaw_web")
+        clone = dataclasses.replace(spec)
+        assert clone == spec
+        assert dataclasses.replace(spec, nnz=spec.nnz + 1) != spec
+
+    def test_canonical_crc_tracks_fields(self):
+        spec = scenarios.get_scenario("powerlaw_web")
+        assert spec.canonical_crc() == ScenarioSpec.from_json(
+            spec.to_json()
+        ).canonical_crc()
+        assert (
+            dataclasses.replace(spec, nnz=spec.nnz + 1).canonical_crc()
+            != spec.canonical_crc()
+        )
+
+
+class TestCorpusShape:
+    def test_corpus_floor(self):
+        assert len(scenarios.scenario_names()) >= 12
+        assert len(scenarios.adversarial_names()) >= 6
+
+    def test_unknown_scenario_is_loud(self):
+        with pytest.raises(ValidationError, match="unknown scenario"):
+            scenarios.get_scenario("no-such-scenario")
+
+    def test_adversarial_subset_tagged(self):
+        for name in scenarios.adversarial_names():
+            assert scenarios.get_scenario(name).adversarial

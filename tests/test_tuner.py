@@ -399,3 +399,60 @@ class TestIntegration:
                 pagerank(matrix, tune=True, executor=executor)
         finally:
             executor.close()
+
+
+# ----------------------------------------------------------------------
+# Scenario twins: spec-generated matrices through the cache
+# ----------------------------------------------------------------------
+
+
+class TestScenarioTwins:
+    """Same-spec twins must never share a cache row across scales."""
+
+    def test_twins_at_different_scales_fingerprint_differently(self):
+        from repro.graphs.scenarios import get_scenario
+        from repro.tuner import spec_fingerprint
+
+        spec = get_scenario("powerlaw_web")
+        small = spec_fingerprint(spec, scale=0.2, seed=7)
+        large = spec_fingerprint(spec, scale=0.4, seed=7)
+        assert small != large
+        # Regenerating the same triple rehits the same key anywhere.
+        assert small == spec_fingerprint(spec, scale=0.2, seed=7)
+
+    def test_no_false_cache_hit_across_scales(self):
+        from repro.graphs.fit import generate
+        from repro.graphs.scenarios import get_scenario
+
+        spec = get_scenario("powerlaw_web")
+        small = generate(spec, scale=0.2, seed=7)
+        large = generate(spec, scale=0.4, seed=7)
+        first = quick_tune(small)
+        second = quick_tune(large)
+        # The larger twin measured for itself instead of replaying the
+        # small twin's decision.
+        assert not second.from_cache
+        assert first.fingerprint != second.fingerprint
+        # And each twin replays its *own* row afterwards.
+        assert quick_tune(small).from_cache
+        assert quick_tune(large).from_cache
+
+    def test_tuned_plan_keys_per_twin(self):
+        from repro.graphs.fit import generate
+        from repro.graphs.scenarios import get_scenario
+        from repro.tuner import matrix_fingerprint
+
+        spec = get_scenario("uniform_sparse")
+        small = generate(spec, scale=0.2, seed=3)
+        large = generate(spec, scale=0.5, seed=3)
+        engine_small = small.tuned_plan(repeats=1, warmup=0)
+        engine_large = large.tuned_plan(repeats=1, warmup=0)
+        assert matrix_fingerprint(small) != matrix_fingerprint(large)
+        x_small = np.random.default_rng(0).random(small.n_cols)
+        x_large = np.random.default_rng(0).random(large.n_cols)
+        np.testing.assert_allclose(
+            engine_small.spmv(x_small), small.to_dense() @ x_small
+        )
+        np.testing.assert_allclose(
+            engine_large.spmv(x_large), large.to_dense() @ x_large
+        )
