@@ -290,6 +290,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="MATRIX.mtx",
         help="write the generated matrix here (MatrixMarket)",
     )
+
+    update = sub.add_parser(
+        "update",
+        help="stream seeded edge updates through a dynamic matrix, "
+        "timing overlay queries against full rebuilds and verifying "
+        "every batch bitwise",
+    )
+    update.add_argument(
+        "matrix", nargs="?", default=None, metavar="MATRIX.mtx",
+        help="MatrixMarket file to evolve (or use --rmat)",
+    )
+    update.add_argument(
+        "--rmat", action="store_true",
+        help="evolve a synthetic R-MAT graph instead of a file",
+    )
+    update.add_argument(
+        "--nodes", type=int, default=4096, help="R-MAT vertex count"
+    )
+    update.add_argument(
+        "--edges", type=int, default=65536, help="R-MAT edge draws"
+    )
+    update.add_argument(
+        "--seed", type=int, default=7,
+        help="seed for the graph and the update stream",
+    )
+    update.add_argument(
+        "--format", dest="fmt", default="csr",
+        help="storage format of the evolving matrix (default: csr)",
+    )
+    update.add_argument(
+        "--backend", default=None,
+        help="execution backend (default: best available)",
+    )
+    update.add_argument(
+        "--ops", type=int, default=4096,
+        help="total update operations in the stream (default: 4096)",
+    )
+    update.add_argument(
+        "--batches", type=int, default=8,
+        help="number of apply_updates batches (default: 8)",
+    )
+    update.add_argument(
+        "--nnz-delta", type=float, default=0.25,
+        help="compaction threshold: pending ops as a fraction of base "
+        "nnz (float) or an absolute count (int); default 0.25",
+    )
+    update.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSON report here",
+    )
     return parser
 
 
@@ -739,6 +789,124 @@ def _cmd_scenarios(args) -> int:
     return 0
 
 
+def _cmd_update(args) -> int:
+    import time
+
+    from repro.errors import ValidationError
+    from repro.formats.registry import get_format
+    from repro.graphs.dynamic import DynamicMatrix, seeded_update_stream
+
+    if args.rmat == (args.matrix is not None):
+        raise ValidationError(
+            "pass exactly one input: a MatrixMarket path or --rmat"
+        )
+    if args.batches < 1:
+        raise ValidationError("--batches must be at least 1")
+    if args.ops < args.batches:
+        raise ValidationError("--ops must be at least --batches")
+    if args.rmat:
+        from repro.graphs.rmat import rmat_graph
+
+        matrix = rmat_graph(args.nodes, args.edges, seed=args.seed)
+        source = (
+            f"rmat(nodes={args.nodes}, edges={args.edges}, "
+            f"seed={args.seed})"
+        )
+    else:
+        from repro.io.matrix_market import read_matrix_market
+
+        try:
+            matrix = read_matrix_market(args.matrix)
+        except OSError as exc:
+            raise ValidationError(
+                f"cannot read {args.matrix!r}: {exc}"
+            ) from exc
+        source = args.matrix
+    spec = get_format(args.fmt)
+    dyn = DynamicMatrix(
+        spec.build(matrix.to_coo()), nnz_delta=args.nnz_delta
+    )
+    stream = seeded_update_stream(dyn, args.ops, seed=args.seed)
+    bounds = np.linspace(0, len(stream), args.batches + 1).astype(int)
+    x = np.random.default_rng(args.seed).random(dyn.n_cols)
+    out = np.empty(dyn.n_rows)
+    rows = []
+    batch_reports = []
+    all_bitwise = True
+    for index in range(args.batches):
+        batch = stream[bounds[index]:bounds[index + 1]]
+        t0 = time.perf_counter()
+        dyn.apply_updates(batch)
+        t_apply = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        dyn.spmv_plan(args.backend).execute(x, out=out)
+        t_query = time.perf_counter() - t0
+        # Reference: the same format rebuilt from scratch at this
+        # version, queried through the same backend.
+        t0 = time.perf_counter()
+        rebuilt = spec.build(dyn.to_coo())
+        reference = rebuilt.spmv_plan(args.backend).execute(x)
+        t_rebuild = time.perf_counter() - t0
+        bitwise = bool(np.array_equal(out, reference))
+        all_bitwise &= bitwise
+        rows.append([
+            index, len(batch), dyn.nnz, dyn.overlay_nnz,
+            t_apply * 1e3, t_query * 1e3, t_rebuild * 1e3,
+            "bitwise" if bitwise else "MISMATCH",
+        ])
+        batch_reports.append({
+            "batch": index,
+            "ops": len(batch),
+            "nnz": dyn.nnz,
+            "overlay_nnz": dyn.overlay_nnz,
+            "apply_seconds": t_apply,
+            "query_seconds": t_query,
+            "rebuild_seconds": t_rebuild,
+            "bitwise": bitwise,
+        })
+    dyn.compact()
+    final = bool(np.array_equal(
+        dyn.spmv_plan(args.backend).execute(x),
+        spec.build(dyn.to_coo()).spmv_plan(args.backend).execute(x),
+    ))
+    all_bitwise &= final
+    print(ascii_table(
+        ["batch", "ops", "nnz", "overlay", "apply (ms)", "query (ms)",
+         "rebuild+query (ms)", "verdict"],
+        rows,
+        title=f"repro update — {source} as {args.fmt}, "
+        f"{args.ops:,} ops in {args.batches} batches",
+        precision=3,
+    ))
+    stats = dict(dyn.stats)
+    print(
+        f"compactions: {stats['compactions']} "
+        f"(repairs {stats['repairs']}, rebuilds {stats['rebuilds']}); "
+        f"final compacted query "
+        f"{'bitwise' if final else 'MISMATCH'} vs rebuild"
+    )
+    if args.out:
+        report = {
+            "source": source,
+            "format": args.fmt,
+            "backend": args.backend,
+            "shape": list(dyn.shape),
+            "ops": args.ops,
+            "nnz_delta": args.nnz_delta,
+            "batches": batch_reports,
+            "stats": stats,
+            "all_bitwise": all_bitwise,
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"report written to {args.out}")
+    if not all_bitwise:
+        print("error: updated matrix diverged from full rebuild",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "formats": _cmd_formats,
@@ -751,6 +919,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "fit": _cmd_fit,
     "scenarios": _cmd_scenarios,
+    "update": _cmd_update,
 }
 
 

@@ -406,6 +406,11 @@ class ShardedExecutor:
         self._cooldown = 0
         self._matrix = matrix
         self._row_lengths = None  # fetched lazily on first reshard
+        # Mutation watermark: dynamic matrices bump ``data_version`` on
+        # every applied batch; ``_run`` compares and rebuilds the shard
+        # slices before executing, so a cached per-shard plan can never
+        # serve stale data after an in-place update.
+        self._data_version = matrix.data_version
         # Persistent workers, spun up once; a single shard needs none.
         if len(self._active) > 1 and mode == "process":
             from repro.exec.procpool import ProcessShardPool
@@ -498,6 +503,8 @@ class ShardedExecutor:
         if self._closed:
             raise ValidationError("executor is closed")
         with self._call_lock:
+            if self._matrix.data_version != self._data_version:
+                self._refresh_shards()
             active = self._active
             if not active:
                 out.fill(0.0)
@@ -860,6 +867,45 @@ class ShardedExecutor:
         self._active = [s for s in shards if s.row_ids.size]
         if self._procpool is not None:
             self._procpool.reshard(self._active)
+
+    def _refresh_shards(self) -> None:
+        """Rebuild every shard from one consistent matrix snapshot.
+
+        Runs under ``_call_lock`` when ``_run`` observes a
+        ``data_version`` ahead of the watermark.  The version is read
+        *before* the snapshot, so a concurrent update landing mid-
+        rebuild at worst triggers one more (idempotent) refresh on the
+        next call — never a stale or torn read.  The row→shard
+        assignment is kept; only the slices and their plans rebuild.
+        """
+        version = self._matrix.data_version
+        snapshot = self._matrix.coo_snapshot()
+        shards: list[_Shard] = []
+        if self.n_shards == 1:
+            shard = _Shard(
+                0, np.arange(self.n_rows, dtype=np.int64), snapshot
+            )
+            shard.plan = shard.matrix.spmv_plan(self.backend)
+            shards.append(shard)
+        else:
+            eager = self.mode != "process"
+            for index in range(self.n_shards):
+                row_ids = np.nonzero(self.assignment == index)[0]
+                shard = _Shard(index, row_ids, snapshot.select_rows(row_ids))
+                if eager:
+                    shard.plan = build_plan(shard.matrix, backend=self.backend)
+                shards.append(shard)
+        self.shards = shards
+        self._active = [s for s in shards if s.row_ids.size]
+        self._row_lengths = None
+        self._data_version = version
+        if self._procpool is not None:
+            self._procpool.reshard(self._active)
+        self._count("invalidations")
+        if _metrics._ENABLED:
+            _metrics.METRICS.inc(
+                "exec.invalidations", n_shards=self.n_shards
+            )
 
     def _ensure_plan(self, shard: _Shard):
         """The shard's parent-side plan, built on first need.

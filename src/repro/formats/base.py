@@ -244,6 +244,46 @@ class SparseMatrix(abc.ABC):
         """
         return self.spmv_plan().execute_many(X, out=out)
 
+    # ------------------------------------------------------------------
+    # Dynamic updates
+    # ------------------------------------------------------------------
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic mutation counter.
+
+        Plain matrices are immutable, so this is constant ``0``;
+        :class:`~repro.graphs.dynamic.DynamicMatrix` bumps it on every
+        ``apply_updates``/``compact``.  Long-lived holders of derived
+        state — the sharded executor's per-shard plans above all —
+        snapshot this value and refresh when it moves.
+        """
+        return 0
+
+    def coo_snapshot(self):
+        """A consistent canonical-COO view of the current contents.
+
+        For immutable matrices this is simply :meth:`to_coo`; dynamic
+        matrices override it to return one atomically-captured state so
+        that a multi-shard rebuild never sees a torn update.
+        """
+        return self.to_coo()
+
+    def apply_updates(self, updates, **options):
+        """Begin streaming edge updates against this matrix.
+
+        Wraps the matrix in a
+        :class:`~repro.graphs.dynamic.DynamicMatrix` (delta-COO
+        overlay, threshold compaction, incremental plan repair) and
+        applies the first batch.  Subsequent batches go through the
+        returned wrapper's own ``apply_updates``, which mutates in
+        place and returns the same object.
+        """
+        from repro.graphs.dynamic import DynamicMatrix
+
+        dyn = DynamicMatrix(self, **options)
+        return dyn.apply_updates(updates)
+
     def row_slice(self, row_ids: np.ndarray):
         """Sub-matrix of the given rows (renumbered 0..k-1, all columns).
 

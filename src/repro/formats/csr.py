@@ -72,6 +72,28 @@ class CSRMatrix(SparseMatrix):
         np.cumsum(counts, out=indptr[1:])
         return cls(indptr, coo.cols.copy(), coo.data.copy(), coo.shape)
 
+    @classmethod
+    def _from_trusted_parts(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: tuple[int, int],
+    ) -> "CSRMatrix":
+        """Internal: wrap canonical CSR arrays without copy or checks.
+
+        For hot paths that rebuild a plan every data version (the
+        dynamic overlay) where the arrays hold CSR invariants by
+        construction; the arrays are adopted as-is, so callers must
+        not mutate them afterwards.
+        """
+        self = object.__new__(cls)
+        self.shape = shape
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        return self
+
     # ------------------------------------------------------------------
     # SparseMatrix interface
     # ------------------------------------------------------------------

@@ -87,6 +87,20 @@ class FormatSpec:
         Optional factory ``f(matrix) -> SpMVPlan | None`` consulted by
         the numba :class:`~repro.exec.native.NativeBackend` before its
         generic segmented-reduce fallback; return ``None`` to decline.
+    supports_repair:
+        Whether compaction of a dynamic overlay can rebuild only the
+        row segments touched by the delta instead of re-running the
+        full ``build``.  Formats whose layout is a pure function of
+        per-row runs (COO, CSR) repair in O(nnz) scatter time; formats
+        with global layout decisions (strip packing, merge-path splits,
+        column clustering) must declare ``False`` and fall back to a
+        full rebuild.
+    repair:
+        ``repair(merged_coo, **kwargs) -> matrix`` incremental
+        constructor used when ``supports_repair`` is true.  It receives
+        the already row/col-sorted merged COO (untouched segments
+        spliced with repaired ones) and must produce a matrix bitwise
+        identical to ``build`` on the same input.
     source:
         ``"builtin"`` or the entry-point name that registered it.
     """
@@ -99,6 +113,8 @@ class FormatSpec:
     model_kernel: str | None = None
     tune_candidate: Callable | None = field(default=None, compare=False)
     native_plan: Callable | None = field(default=None, compare=False)
+    supports_repair: bool = False
+    repair: Callable | None = field(default=None, compare=False)
     source: str = "builtin"
 
 
@@ -287,6 +303,10 @@ def _builtin_specs() -> list[FormatSpec]:
             name="coo", cls=COOMatrix, build=lambda coo, **kw: coo,
             description="row-sorted coordinate triples — the reference",
             bitwise=True,
+            # The merged COO *is* the repaired matrix: splicing the
+            # untouched row runs with the repaired ones already yields
+            # canonical row/col-sorted triples.
+            supports_repair=True, repair=lambda coo, **kw: coo,
         ),
         FormatSpec(
             name="csr", cls=CSRMatrix,
@@ -294,6 +314,10 @@ def _builtin_specs() -> list[FormatSpec]:
             description="compressed sparse row — the universal baseline",
             bitwise=True, model_kernel="csr-vector",
             native_plan=_native_csr,
+            # from_coo on the spliced merge is a linear counting pass —
+            # no global sort — so it doubles as the repair constructor.
+            supports_repair=True,
+            repair=lambda coo, **kw: CSRMatrix.from_coo(coo),
         ),
         FormatSpec(
             name="csc", cls=CSCMatrix,

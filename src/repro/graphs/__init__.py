@@ -26,6 +26,11 @@ shipped here, so this package generates structural analogues:
 from repro.graphs import datasets, scenarios, stats
 from repro.graphs.chung_lu import chung_lu_graph, powerlaw_weights
 from repro.graphs.datasets import Dataset, list_datasets, load, matched_device
+from repro.graphs.dynamic import (
+    DynamicMatrix,
+    OverlayPlan,
+    seeded_update_stream,
+)
 from repro.graphs.fit import ScenarioSpec, fit, generate
 from repro.graphs.rmat import rmat_edges, rmat_graph
 from repro.graphs.scenarios import (
@@ -45,6 +50,8 @@ from repro.graphs.synthetic import (
 
 __all__ = [
     "Dataset",
+    "DynamicMatrix",
+    "OverlayPlan",
     "ScenarioSpec",
     "adversarial_names",
     "chung_lu_graph",
@@ -66,6 +73,7 @@ __all__ = [
     "rmat_edges",
     "rmat_graph",
     "scenario_names",
+    "seeded_update_stream",
     "scenarios",
     "stats",
 ]

@@ -457,11 +457,16 @@ def generate(
             continue
         row_prob, col_prob = _component_model(spec, r1 - r0, c1 - c0, rng)
         # Top-up loop: dedup shrinks skewed draws; redraw until the
-        # unique count reaches the target (or growth stalls on a
-        # saturated hub/band), then thin uniformly to exactly target.
+        # unique count reaches the target, then thin uniformly to
+        # exactly target.  Stopping is progress-based: only a round
+        # that adds nothing new means the structure is saturated (a
+        # narrow band, a lone hub) and the shortfall is honest.  A
+        # fixed small round cap is not — heavy hub mass can collide
+        # away most of every draw yet still creep toward the target,
+        # so the cap is only a generous runaway guard.
         # All rounds draw from the SAME frozen model above.
         keys: np.ndarray = np.array([], dtype=np.int64)
-        for _round in range(6):
+        for _round in range(64):
             need = target - keys.size
             if need <= 0:
                 break

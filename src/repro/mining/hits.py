@@ -28,6 +28,7 @@ from repro.mining.power_method import (
     l1_delta,
     resolve_checkpoint,
     resolve_engine,
+    resolve_warm_start,
     resume_checkpoint,
 )
 from repro.mining.vector_kernels import reduction_cost, scale_cost
@@ -71,6 +72,7 @@ def hits(
     tune: bool = False,
     checkpoint=None,
     resume_from=None,
+    warm_start=None,
     **kernel_options,
 ) -> MiningResult:
     """Run HITS; the result vector holds authorities then hubs.
@@ -93,6 +95,12 @@ def hits(
     ``checkpoint``/``resume_from`` snapshot and restore the stacked
     iterate ``v`` (see :func:`repro.mining.pagerank.pagerank`); resumed
     runs replay the uninterrupted trajectory bitwise.
+
+    ``warm_start`` seeds the stacked ``[authorities; hubs]`` iterate of
+    a fresh run (length ``2n`` array, a previous HITS
+    :class:`~repro.mining.MiningResult`, or a checkpoint / ``.npz``
+    path) — iteration counting restarts at zero; mutually exclusive
+    with ``resume_from``.
     """
     coo = adjacency.to_coo()
     n = coo.n_rows
@@ -102,10 +110,13 @@ def hits(
     else:
         spmv = create(kernel, operator, device=device, **kernel_options)
     ckpt_config = resolve_checkpoint(checkpoint)
+    warm = resolve_warm_start(
+        warm_start, resume_from, (2 * n,), key="v", algorithm="hits"
+    )
     snapshot = resume_checkpoint(resume_from, "hits", n=n)
     start_iteration = 0
     if snapshot is None:
-        v = np.full(2 * n, 1.0 / n)
+        v = np.full(2 * n, 1.0 / n) if warm is None else warm
     else:
         v = np.array(snapshot.array("v"), dtype=np.float64)
         if v.shape != (2 * n,):
@@ -181,6 +192,8 @@ def hits(
     }
     if start_iteration:
         extra["resume_iteration"] = start_iteration
+    if warm is not None:
+        extra["warm_start"] = True
     return finish_run(trace, MiningResult(
         algorithm="hits",
         kernel_name=spmv.name,

@@ -23,6 +23,7 @@ from repro.mining.power_method import (
     l1_delta,
     resolve_checkpoint,
     resolve_engine,
+    resolve_warm_start,
     resume_checkpoint,
 )
 from repro.mining.vector_kernels import axpy_cost, reduction_cost
@@ -67,6 +68,7 @@ def pagerank(
     tune: bool = False,
     checkpoint=None,
     resume_from=None,
+    warm_start=None,
     **kernel_options,
 ) -> MiningResult:
     """Run PageRank and report the converged vector plus simulated cost.
@@ -104,6 +106,15 @@ def pagerank(
         a previous run: iterations continue at ``iteration + 1`` and
         replay the uninterrupted trajectory **bitwise** — same operator,
         same recurrence, same reduction order.
+    warm_start:
+        Seed the initial iterate of a *fresh* run (iteration count
+        restarts at zero) with a previous result — an array of length
+        ``n``, a :class:`~repro.mining.MiningResult`, or a checkpoint /
+        ``.npz`` path (its ``"p"`` array).  The dynamic-graph idiom:
+        after a small update the old vector is near the new fixed point
+        and convergence takes a fraction of the cold iterations.  The
+        teleport base stays the uniform ``p0`` regardless.  Mutually
+        exclusive with ``resume_from``.
     """
     if not 0 < damping < 1:
         raise ValidationError(f"damping must be in (0, 1), got {damping}")
@@ -115,13 +126,16 @@ def pagerank(
         spmv = create(kernel, operator, device=device, **kernel_options)
     n = operator.n_rows
     ckpt_config = resolve_checkpoint(checkpoint)
+    warm = resolve_warm_start(
+        warm_start, resume_from, (n,), key="p", algorithm="pagerank"
+    )
     snapshot = resume_checkpoint(
         resume_from, "pagerank", n=n, damping=damping
     )
     p0 = np.full(n, 1.0 / n)
     start_iteration = 0
     if snapshot is None:
-        p = p0.copy()
+        p = p0.copy() if warm is None else warm
     else:
         p = np.array(snapshot.array("p"), dtype=np.float64)
         if p.shape != (n,):
@@ -184,6 +198,8 @@ def pagerank(
     extra = {"damping": damping, "tol": tol, "n_shards": shards_used}
     if start_iteration:
         extra["resume_iteration"] = start_iteration
+    if warm is not None:
+        extra["warm_start"] = True
     return finish_run(trace, MiningResult(
         algorithm="pagerank",
         kernel_name=spmv.name,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -19,6 +20,7 @@ __all__ = [
     "l1_delta",
     "resolve_checkpoint",
     "resolve_engine",
+    "resolve_warm_start",
     "resume_checkpoint",
 ]
 
@@ -136,6 +138,59 @@ def resume_checkpoint(resume_from, algorithm: str, **require):
             "resilience.checkpoints.resumed", algorithm=algorithm
         )
     return snapshot
+
+
+def resolve_warm_start(
+    warm_start, resume_from, shape: tuple[int, ...], *, key: str,
+    algorithm: str,
+):
+    """Normalise a mining ``warm_start=`` argument to a seed array.
+
+    ``warm_start`` seeds the *initial iterate* of a fresh run — the
+    dynamic-graph idiom: after a small update stream, the previous
+    converged vector is already near the new fixed point and the power
+    method closes the residual in a fraction of the cold iterations.
+    It accepts an array of the right shape, a :class:`MiningResult`
+    (its ``vector``), or a :class:`~repro.resilience.Checkpoint`
+    instance / ``.npz`` path (its ``key`` array).
+
+    Unlike ``resume_from`` — which replays an *interrupted* trajectory
+    bitwise and therefore validates the full recurrence — a warm start
+    is a new trajectory from a caller-chosen point: iteration counting
+    restarts at zero and only shape/finiteness are enforced.  The two
+    are mutually exclusive; asking for both is a contradiction
+    (resume pins the iterate, warm start replaces it) and raises.
+    """
+    if warm_start is None:
+        return None
+    if resume_from is not None:
+        raise ValidationError(
+            f"{algorithm}: warm_start and resume_from are mutually "
+            "exclusive — resume replays an interrupted trajectory from "
+            "its own iterate, warm start begins a new one"
+        )
+    from repro.resilience.checkpoint import Checkpoint, load_checkpoint
+
+    value = warm_start
+    if isinstance(value, MiningResult):
+        value = value.vector
+    elif isinstance(value, Checkpoint):
+        value = value.array(key)
+    elif isinstance(value, (str, os.PathLike)):
+        value = load_checkpoint(value).array(key)
+    value = np.asarray(value, dtype=np.float64)
+    if value.shape != shape:
+        raise ValidationError(
+            f"{algorithm}: warm_start has shape {value.shape}, "
+            f"expected {shape}"
+        )
+    if value.size and not np.isfinite(value).all():
+        raise ValidationError(
+            f"{algorithm}: warm_start contains NaN or Inf"
+        )
+    # A private copy: the loop double-buffers in place and must never
+    # scribble on the caller's previous result.
+    return value.copy()
 
 
 def l1_delta(

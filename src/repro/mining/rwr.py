@@ -26,6 +26,7 @@ from repro.mining.power_method import (
     l1_delta,
     resolve_checkpoint,
     resolve_engine,
+    resolve_warm_start,
     resume_checkpoint,
 )
 from repro.mining.vector_kernels import axpy_cost, reduction_cost
@@ -65,6 +66,7 @@ def random_walk_with_restart(
     tune: bool = False,
     checkpoint=None,
     resume_from=None,
+    warm_start=None,
     **kernel_options,
 ) -> MiningResult:
     """Run RWR for each query node and average the simulated cost.
@@ -91,14 +93,24 @@ def random_walk_with_restart(
     the query set — the checkpoint's queries *are* the resumed run's
     queries); only the ``batched`` path supports them, the sequential
     path raises :class:`ValidationError`.
+
+    ``warm_start`` seeds the batched walk matrix of a fresh run — an
+    ``(n, len(queries))`` array or a checkpoint / ``.npz`` path (its
+    ``"R"`` array) from a previous run over the *same query set* —
+    iteration counting restarts at zero; batched-only, mutually
+    exclusive with ``resume_from``.
     """
     if not 0 < restart < 1:
         raise ValidationError(f"restart must be in (0, 1), got {restart}")
-    if not batched and (checkpoint is not None or resume_from is not None):
+    if not batched and (
+        checkpoint is not None
+        or resume_from is not None
+        or warm_start is not None
+    ):
         raise ValidationError(
-            "checkpoint/resume_from require batched=True (the sequential "
-            "path interleaves per-query loops and has no single resumable "
-            "iteration state)"
+            "checkpoint/resume_from/warm_start require batched=True (the "
+            "sequential path interleaves per-query loops and has no single "
+            "resumable iteration state)"
         )
     coo = adjacency.to_coo()
     operator = rwr_operator(coo)
@@ -108,6 +120,13 @@ def random_walk_with_restart(
         spmv = create(kernel, operator, device=device, **kernel_options)
     n = operator.n_rows
     ckpt_config = resolve_checkpoint(checkpoint)
+    if warm_start is not None and resume_from is not None:
+        # The full resolution needs the finalised query set (for the
+        # expected shape), but the contradiction is reportable now,
+        # before any checkpoint file is touched.
+        resolve_warm_start(
+            warm_start, resume_from, (n, 0), key="R", algorithm="rwr"
+        )
     snapshot = resume_checkpoint(resume_from, "rwr", n=n, restart=restart)
     if snapshot is not None:
         resumed_queries = np.asarray(
@@ -129,6 +148,10 @@ def random_walk_with_restart(
         raise ValidationError("at least one query node is required")
     if queries.min() < 0 or queries.max() >= n:
         raise ValidationError("query node out of range")
+    warm = resolve_warm_start(
+        warm_start, resume_from, (n, queries.size), key="R",
+        algorithm="rwr",
+    )
 
     dev = spmv.device
     per_iteration = (
@@ -148,7 +171,7 @@ def random_walk_with_restart(
         if batched:
             iteration_counts, all_converged, r = _run_batched(
                 engine, queries, n, restart, tol, max_iter, trace,
-                ckpt_config=ckpt_config, snapshot=snapshot,
+                ckpt_config=ckpt_config, snapshot=snapshot, warm=warm,
             )
         else:
             iteration_counts, all_converged, r = _run_sequential(
@@ -166,6 +189,8 @@ def random_walk_with_restart(
     }
     if snapshot is not None:
         extra["resume_iteration"] = snapshot.iteration
+    if warm is not None:
+        extra["warm_start"] = True
     return finish_run(trace, MiningResult(
         algorithm="rwr",
         kernel_name=spmv.name,
@@ -227,6 +252,7 @@ def _run_batched(
     trace,
     ckpt_config=None,
     snapshot=None,
+    warm=None,
 ) -> tuple[list[int], bool, np.ndarray]:
     """All query walks in lock step, one SpMM per iteration.
 
@@ -246,7 +272,7 @@ def _run_batched(
     base = (1.0 - restart) * E
     start_iteration = 0
     if snapshot is None:
-        R = E.copy()
+        R = E.copy() if warm is None else warm
         frozen = E.copy()
         active = np.ones(k, dtype=bool)
         iteration_counts = np.zeros(k, dtype=np.int64)

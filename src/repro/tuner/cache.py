@@ -143,6 +143,35 @@ class TuningCache:
         _count("tuner.cache.hits")
         return entry["decision"]
 
+    def revalidation_candidates(
+        self, environment: dict, options: dict
+    ) -> list[tuple[str, dict, dict]]:
+        """Entries eligible for drift-based revalidation.
+
+        Returns ``(fingerprint, signature, decision)`` triples for
+        every same-environment, same-options entry that recorded a
+        structural signature when it was stored.  Entries written
+        before signatures existed are skipped — without a signature
+        there is nothing to measure drift against, so they can only be
+        exact hits.
+        """
+        if self.path is None:
+            return []
+        out = []
+        for fingerprint, entry in self._load()["entries"].items():
+            if not isinstance(entry, dict):
+                continue
+            if (
+                entry.get("environment") != environment
+                or entry.get("options") != options
+            ):
+                continue
+            signature = entry.get("signature")
+            decision = entry.get("decision")
+            if isinstance(signature, dict) and isinstance(decision, dict):
+                out.append((fingerprint, signature, decision))
+        return out
+
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
@@ -153,16 +182,26 @@ class TuningCache:
         environment: dict,
         options: dict,
         decision: dict,
+        signature: dict | None = None,
     ) -> None:
-        """Store (or overwrite) one entry atomically; no-op if disabled."""
+        """Store (or overwrite) one entry atomically; no-op if disabled.
+
+        ``signature`` (a :func:`~repro.tuner.fingerprint.degree_signature`
+        payload) makes the entry eligible for drift-based revalidation
+        after the matrix mutates; entries stored without one only ever
+        serve exact fingerprint hits.
+        """
         if self.path is None:
             return
         payload = self._load()
-        payload["entries"][fingerprint] = {
+        entry = {
             "environment": environment,
             "options": options,
             "decision": decision,
         }
+        if signature is not None:
+            entry["signature"] = signature
+        payload["entries"][fingerprint] = entry
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             tmp = self.path.with_name(

@@ -42,7 +42,12 @@ from repro.gpu.spec import DeviceSpec
 from repro.obs import metrics as _metrics
 from repro.obs.trace import trace
 from repro.tuner.cache import TuningCache
-from repro.tuner.fingerprint import environment_key, matrix_fingerprint
+from repro.tuner.fingerprint import (
+    degree_signature,
+    environment_key,
+    matrix_fingerprint,
+    signature_drift,
+)
 
 __all__ = [
     "DEFAULT_REPEATS",
@@ -81,6 +86,13 @@ ELL_MAX_PADDING_RATIO = 16.0
 DEFAULT_REPEATS = 5
 DEFAULT_WARMUP = 2
 
+#: Default structural-drift ceiling for ``revalidate=True``: an update
+#: stream that moved the degree histograms or nnz by less than this
+#: fraction keeps the cached decision (SpMV cost is a function of the
+#: structure class, which such a stream has not left); anything past it
+#: re-measures.
+DRIFT_THRESHOLD = 0.25
+
 #: Each timing sample batches enough runs to last at least this long:
 #: a single small-matrix SpMV sits at the scale of timer jitter and
 #: scheduler noise, and medians over such samples mis-rank candidates.
@@ -114,6 +126,10 @@ class TuningDecision:
     candidates: list = field(default_factory=list)
     #: Whether this decision was resolved from the persistent cache.
     from_cache: bool = False
+    #: Whether a cache resolution came through drift revalidation (the
+    #: exact fingerprint missed but a same-environment entry within the
+    #: drift threshold was re-keyed) rather than an exact hit.
+    revalidated: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -453,6 +469,7 @@ def tune(
     cache: TuningCache | str | None = "env",
     use_cache: bool = True,
     force: bool = False,
+    revalidate: bool | float = False,
     table=None,
 ) -> TuningDecision:
     """Pick (and persist) the fastest execution configuration.
@@ -476,6 +493,16 @@ def tune(
     force:
         Re-measure even when a fresh cached decision exists (the new
         decision overwrites the cached one).
+    revalidate:
+        Drift-based cache revalidation for mutated matrices.  The
+        exact-fingerprint path is untouched; on an exact miss,
+        same-environment/same-options entries whose stored degree
+        signature sits within the drift threshold
+        (:data:`DRIFT_THRESHOLD` for ``True``, the given float
+        otherwise) are re-keyed under the new fingerprint and returned
+        as a revalidated hit instead of re-measuring.  Past the
+        threshold the structure has genuinely changed and the grid is
+        measured afresh (``tuner.cache.drift_retune``).
     """
     if repeats < 1:
         raise ValidationError(f"repeats must be >= 1, got {repeats}")
@@ -490,6 +517,18 @@ def tune(
         formats, backends, shard_counts, modes, repeats, warmup
     )
 
+    if revalidate is True:
+        drift_limit: float | None = DRIFT_THRESHOLD
+    elif revalidate is False or revalidate is None:
+        drift_limit = None
+    else:
+        drift_limit = float(revalidate)
+        if not 0.0 <= drift_limit <= 1.0:
+            raise ValidationError(
+                f"revalidate threshold must be in [0, 1], got {drift_limit}"
+            )
+    signature = degree_signature(matrix) if cache.enabled else None
+
     if use_cache and not force:
         hit = cache.get(fingerprint, environment, options)
         if hit is not None:
@@ -503,6 +542,13 @@ def tune(
                     _count("tuner.decisions", source="cache")
                     return decision
                 _count("tuner.cache.stale")
+        if drift_limit is not None and signature is not None:
+            decision = _revalidate(
+                cache, fingerprint, signature, environment, options,
+                drift_limit,
+            )
+            if decision is not None:
+                return decision
 
     candidates, meta = candidate_grid(
         matrix,
@@ -575,6 +621,60 @@ def tune(
         candidates=rows,
     )
     if use_cache:
-        cache.put(fingerprint, environment, options, decision.to_dict())
+        cache.put(
+            fingerprint, environment, options, decision.to_dict(),
+            signature=signature,
+        )
     _count("tuner.decisions", source="measured")
+    return decision
+
+
+def _revalidate(
+    cache: TuningCache,
+    fingerprint: str,
+    signature: dict,
+    environment: dict,
+    options: dict,
+    drift_limit: float,
+) -> TuningDecision | None:
+    """Resolve an exact-fingerprint miss through signature drift.
+
+    Scans same-environment/same-options entries that stored a degree
+    signature, takes the structurally nearest one, and — when it sits
+    within ``drift_limit`` — re-keys its decision under the new
+    fingerprint (so the *next* lookup is an exact O(1) hit) and returns
+    it as a revalidated cache decision.  Returns ``None`` when nothing
+    qualifies; a candidate past the threshold additionally counts a
+    ``tuner.cache.drift_retune`` so dashboards can tell "no history"
+    from "history invalidated by drift".
+    """
+    candidates = cache.revalidation_candidates(environment, options)
+    if not candidates:
+        return None
+    best_drift, best_decision = None, None
+    for _, cached_signature, decision_dict in candidates:
+        drift = signature_drift(signature, cached_signature)
+        if best_drift is None or drift < best_drift:
+            best_drift, best_decision = drift, decision_dict
+    if best_drift is None or best_drift > drift_limit:
+        _count("tuner.cache.drift_retune")
+        if _metrics._ENABLED:
+            _metrics.METRICS.observe("tuner.cache.drift", best_drift or 1.0)
+        return None
+    try:
+        decision = TuningDecision.from_dict(best_decision)
+    except (KeyError, TypeError, ValueError, ValidationError):
+        _count("tuner.cache.corrupt", reason="decision")
+        return None
+    decision.fingerprint = fingerprint
+    decision.from_cache = True
+    decision.revalidated = True
+    cache.put(
+        fingerprint, environment, options, decision.to_dict(),
+        signature=signature,
+    )
+    _count("tuner.cache.revalidated")
+    if _metrics._ENABLED:
+        _metrics.METRICS.observe("tuner.cache.drift", best_drift)
+    _count("tuner.decisions", source="revalidated")
     return decision

@@ -235,3 +235,63 @@ class TestScenariosCommand:
         )
         assert code == 2
         assert "not both" in err
+
+
+class TestUpdateCommand:
+    def test_end_to_end_rmat_bitwise(self, capsys):
+        code, out, _ = run(
+            capsys, "update", "--rmat", "--nodes", "256",
+            "--edges", "2048", "--ops", "512", "--batches", "4",
+            "--nnz-delta", "0.1", "--seed", "3",
+        )
+        assert code == 0
+        assert "repro update" in out
+        assert "bitwise" in out
+        assert "MISMATCH" not in out
+        assert "compactions:" in out
+        assert "final compacted query bitwise vs rebuild" in out
+
+    def test_report_written_and_all_bitwise(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "update.json"
+        code, out, _ = run(
+            capsys, "update", "--rmat", "--nodes", "128",
+            "--edges", "1024", "--ops", "256", "--batches", "2",
+            "--out", str(report_path),
+        )
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["all_bitwise"] is True
+        assert len(report["batches"]) == 2
+        assert all(b["bitwise"] for b in report["batches"])
+        assert report["stats"]["rebuilds"] == 0  # csr supports repair
+
+    def test_matrix_market_input(self, capsys, tmp_path):
+        from repro.graphs.rmat import rmat_graph
+        from repro.io.matrix_market import write_matrix_market
+
+        mtx = tmp_path / "g.mtx"
+        write_matrix_market(rmat_graph(128, 1024, seed=2), mtx)
+        code, out, _ = run(
+            capsys, "update", str(mtx), "--ops", "128", "--batches", "2",
+        )
+        assert code == 0
+        assert "MISMATCH" not in out
+
+    def test_requires_exactly_one_input(self, capsys):
+        code, _, err = run(capsys, "update")
+        assert code == 2
+        assert "exactly one input" in err
+
+    def test_rejects_more_batches_than_ops(self, capsys):
+        code, _, err = run(
+            capsys, "update", "--rmat", "--ops", "4", "--batches", "8",
+        )
+        assert code == 2
+        assert "--ops must be at least --batches" in err
+
+    def test_missing_file_fails_cleanly(self, capsys):
+        code, _, err = run(capsys, "update", "/nonexistent/g.mtx")
+        assert code == 2
+        assert "error:" in err

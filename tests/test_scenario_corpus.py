@@ -236,6 +236,98 @@ def test_chaos_cell_recovers_bitwise(name, armed):
 
 
 # ----------------------------------------------------------------------
+# Streaming cell: seeded update streams, bitwise vs rebuild
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_streaming_cell_bitwise(name):
+    """Every scenario evolved by a seeded update stream stays bitwise
+    equal to rebuilding the same format from scratch — overlay live
+    and after compaction."""
+    from repro.graphs.dynamic import DynamicMatrix, seeded_update_stream
+
+    coo = scenario_matrix(name)
+    dyn = DynamicMatrix(build("csr", coo))
+    stream = seeded_update_stream(dyn, max(8, coo.nnz // 8), seed=SEED)
+    x, _X, _, _ = scenario_inputs(name)
+    backend = coo.spmv_plan().backend
+    dyn.apply_updates(stream)
+    want = build("csr", dyn.to_coo()).spmv_plan(backend).execute(x)
+    assert np.array_equal(dyn.spmv_plan(backend).execute(x), want), name
+    dyn.compact()
+    assert dyn.overlay_nnz == 0
+    assert np.array_equal(dyn.spmv_plan(backend).execute(x), want), name
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_streaming_chaos_cell(name, armed):
+    """Shard faults at p=1.0 while querying a just-updated matrix:
+    the executor degrades, recovers, and stays bitwise."""
+    from repro.graphs.dynamic import DynamicMatrix, seeded_update_stream
+
+    coo = scenario_matrix(name)
+    dyn = DynamicMatrix(coo)
+    x, _X, _, _ = scenario_inputs(name)
+    backend = coo.spmv_plan().backend
+    with ShardedExecutor(dyn, 2, backend=backend) as ex:
+        ex.spmv(x)  # warm pre-update plans
+        dyn.apply_updates(
+            seeded_update_stream(dyn, max(8, coo.nnz // 8), seed=SEED)
+        )
+        INJECTOR.configure(
+            FaultSpec("shard.task", "error", probability=1.0), seed=SEED
+        )
+        out_v = ex.spmv(x)
+        assert ex.resilience_stats.get("invalidations", 0) >= 1
+    want = dyn.to_coo().spmv_plan(backend).execute(x)
+    assert np.array_equal(out_v, want), f"{name} diverged under faults"
+    assert INJECTOR.injected("shard.task") > 0
+    assert METRICS.counter_total("resilience.degraded") > 0
+
+
+def test_fault_during_apply_and_compact_is_atomic(armed):
+    """An injected fault inside apply_updates or compact leaves the
+    matrix exactly as it was; the retried operation then lands the
+    identical state."""
+    from repro.errors import InjectedFault
+    from repro.graphs.dynamic import DynamicMatrix, seeded_update_stream
+
+    name = SCENARIOS[0]
+    coo = scenario_matrix(name)
+    dyn = DynamicMatrix(build("csr", coo))
+    stream = seeded_update_stream(dyn, 16, seed=SEED)
+
+    INJECTOR.configure(
+        FaultSpec("dynamic.apply", "error", probability=1.0), seed=SEED
+    )
+    with pytest.raises(InjectedFault):
+        dyn.apply_updates(stream)
+    assert dyn.data_version == 0
+    assert dyn.overlay_nnz == 0
+    INJECTOR.clear()
+
+    dyn.apply_updates(stream)
+    before = dyn.to_coo()
+    version = dyn.data_version
+    INJECTOR.configure(
+        FaultSpec("dynamic.compact", "error", probability=1.0), seed=SEED
+    )
+    with pytest.raises(InjectedFault):
+        dyn.compact()
+    assert dyn.data_version == version
+    assert dyn.to_coo() is before
+    INJECTOR.clear()
+
+    dyn.compact()
+    merged = dyn.to_coo()
+    assert dyn.overlay_nnz == 0
+    np.testing.assert_array_equal(merged.rows, before.rows)
+    np.testing.assert_array_equal(merged.cols, before.cols)
+    np.testing.assert_array_equal(merged.data, before.data)
+
+
+# ----------------------------------------------------------------------
 # Full-scale tier (opt-in: REPRO_SCENARIO_FULL=1)
 # ----------------------------------------------------------------------
 
@@ -267,3 +359,18 @@ class TestFullScale:
         ref_v, _ = reference(name, backend, 1.0)
         with ShardedExecutor(matrix, "auto", backend=backend) as ex:
             assert np.array_equal(ex.spmv(x), ref_v)
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_full_scale_streaming(self, name):
+        from repro.graphs.dynamic import DynamicMatrix, seeded_update_stream
+
+        coo = scenario_matrix(name, 1.0)
+        dyn = DynamicMatrix(build("csr", coo))
+        stream = seeded_update_stream(dyn, max(32, coo.nnz // 4), seed=SEED)
+        x, _X, _, _ = scenario_inputs(name, 1.0)
+        backend = coo.spmv_plan().backend
+        dyn.apply_updates(stream)
+        want = build("csr", dyn.to_coo()).spmv_plan(backend).execute(x)
+        assert np.array_equal(dyn.spmv_plan(backend).execute(x), want)
+        dyn.compact()
+        assert np.array_equal(dyn.spmv_plan(backend).execute(x), want)

@@ -20,6 +20,7 @@ from repro.exec import (
     ShardedExecutor,
     auto_shard_count,
     available_backends,
+    build_plan,
     env_shard_count,
 )
 from repro.formats.convert import FORMAT_BUILDERS, to_format
@@ -436,3 +437,68 @@ def test_concurrent_lazy_plan_build_happens_once():
         t.join()
     assert all(p is plans[0] for p in plans)
     assert PLAN_CACHE_STATS.builds == baseline + 1
+
+
+def test_hammer_queries_during_updates_from_eight_threads():
+    """Eight reader threads query one executor while the main thread
+    streams update batches through the underlying DynamicMatrix.
+
+    The executor checks the matrix's ``data_version`` watermark under
+    its call lock and reshards from an atomic ``coo_snapshot()``, so
+    every concurrent result must be bitwise-equal to a from-scratch
+    plan over some *published* version's content — never a torn state,
+    never a stale pre-update plan once the call started after the
+    version bump.
+    """
+    from repro.graphs.dynamic import DynamicMatrix, seeded_update_stream
+
+    n_threads = 8
+    base = random_coo(n_rows=48, n_cols=48, nnz=240, seed=61)
+    dyn = DynamicMatrix(base)
+    stream = seeded_update_stream(dyn, 120, seed=62)
+    bounds = np.linspace(0, len(stream), 13).astype(int)
+    x = np.random.default_rng(63).random(dyn.n_cols)
+    snapshots = {0: dyn.coo_snapshot()}
+    results = []
+    errors = []
+    stop = threading.Event()
+    with ShardedExecutor(dyn, 3) as ex:
+        backend = ex.backend
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    version = dyn.data_version
+                    out = ex.spmv(x)
+                    # Keep only samples whose version was stable across
+                    # the call: those pin the exact content queried.
+                    if dyn.data_version == version:
+                        results.append((version, out))
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for i in range(12):
+                dyn.apply_updates(stream[bounds[i]:bounds[i + 1]])
+                snapshots[dyn.data_version] = dyn.coo_snapshot()
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not errors, errors
+        assert results
+        assert ex.resilience_stats.get("invalidations", 0) >= 1
+    expected = {
+        version: build_plan(snapshot, backend=backend).execute(x)
+        for version, snapshot in snapshots.items()
+    }
+    for version, out in results:
+        assert version in expected, f"unpublished version {version}"
+        assert np.array_equal(out, expected[version]), (
+            f"result diverged from version {version}'s rebuild"
+        )

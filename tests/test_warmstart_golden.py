@@ -1,0 +1,161 @@
+"""Golden warm-start tests: dynamic updates pay off in iterations.
+
+The dynamic-graph workflow the warm-start machinery exists for: run an
+algorithm to convergence, stream a small seeded update batch through
+:class:`~repro.graphs.dynamic.DynamicMatrix`, then re-run on the
+updated graph seeded with the previous vector.  These tests pin — as
+golden JSON trajectories under ``tests/golden/`` — both the cold and
+the warm runs on the updated graph, and assert the headline claim
+exactly: the warm run converges in strictly fewer iterations than the
+cold one while landing inside the same tolerance.
+
+Alongside the goldens, the resolver equivalence tests prove that every
+accepted ``warm_start`` spelling (a raw array, a ``MiningResult``, a
+``Checkpoint`` instance, a saved ``.npz`` path) drives a bitwise
+identical trajectory — the seed array is the only thing that matters.
+
+Tolerances follow ``test_convergence_golden.py``: iteration counts and
+flags are exact, residual columns compare with ``rtol=1e-6,
+atol=1e-12``.  Regenerate after an *intentional* numerical change
+with::
+
+    PYTHONPATH=src python tests/test_warmstart_golden.py
+"""
+
+import functools
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.graphs.dynamic import DynamicMatrix, seeded_update_stream
+from repro.graphs.rmat import rmat_graph
+from repro.mining.hits import hits
+from repro.mining.pagerank import pagerank
+from repro.obs import metrics as metrics_mod
+from repro.resilience.checkpoint import Checkpoint
+from tests.test_convergence_golden import RTOL, ATOL, trace_payload
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+GOLDEN_PATH = GOLDEN_DIR / "warmstart.json"
+LEGS = ["pagerank_cold", "pagerank_warm", "hits_cold", "hits_warm"]
+
+
+@functools.lru_cache(maxsize=1)
+def updated_graph():
+    """The pinned dynamic workload: base graph plus one small batch."""
+    base = rmat_graph(128, 1024, seed=13)
+    dyn = DynamicMatrix(base.to_coo())
+    dyn.apply_updates(seeded_update_stream(dyn, 24, seed=5))
+    return base, dyn.to_coo()
+
+
+@functools.lru_cache(maxsize=1)
+def run_workload() -> dict:
+    base, updated = updated_graph()
+    prior = metrics_mod.enabled()
+    metrics_mod.enable()
+    try:
+        pr_before = pagerank(base, kernel="cpu-csr", tol=1e-8)
+        hits_before = hits(base, kernel="cpu-csr", tol=1e-8)
+        legs = {
+            "pagerank_cold": pagerank(updated, kernel="cpu-csr", tol=1e-8),
+            "pagerank_warm": pagerank(
+                updated, kernel="cpu-csr", tol=1e-8, warm_start=pr_before
+            ),
+            "hits_cold": hits(updated, kernel="cpu-csr", tol=1e-8),
+            "hits_warm": hits(
+                updated, kernel="cpu-csr", tol=1e-8, warm_start=hits_before
+            ),
+        }
+    finally:
+        if not prior:
+            metrics_mod.disable()
+    return {name: trace_payload(result) for name, result in legs.items()}
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden file {GOLDEN_PATH}; regenerate with "
+        f"`PYTHONPATH=src python {__file__}`"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("leg", LEGS)
+def test_warmstart_trajectory_matches_golden(golden, leg):
+    want = golden[leg]
+    got = run_workload()[leg]
+    assert got["iterations"] == want["iterations"]
+    assert got["converged"] == want["converged"]
+    assert len(got["records"]) == len(want["records"])
+    for column in sorted(want["records"][0]):
+        want_col = np.array([r[column] for r in want["records"]])
+        got_col = np.array([r[column] for r in got["records"]])
+        if column == "iteration":
+            assert np.array_equal(got_col, want_col)
+        else:
+            np.testing.assert_allclose(
+                got_col, want_col, rtol=RTOL, atol=ATOL,
+                err_msg=f"{leg} column {column!r} drifted",
+            )
+
+
+@pytest.mark.parametrize("algorithm", ["pagerank", "hits"])
+def test_warm_beats_cold_after_small_update(algorithm):
+    """The headline claim, pinned exactly: strictly fewer iterations."""
+    legs = run_workload()
+    cold = legs[f"{algorithm}_cold"]
+    warm = legs[f"{algorithm}_warm"]
+    assert warm["converged"] and cold["converged"]
+    assert warm["iterations"] < cold["iterations"]
+    # Both runs close the same tolerance; warm is a shortcut, not a
+    # different answer.
+    assert warm["records"][-1]["residual"] < 1e-8
+    assert cold["records"][-1]["residual"] < 1e-8
+
+
+def test_all_warm_start_spellings_are_bitwise_identical(tmp_path):
+    _, updated = updated_graph()
+    base, _ = updated_graph()
+    previous = pagerank(base, kernel="cpu-csr", tol=1e-8)
+    snapshot = Checkpoint(
+        algorithm="pagerank",
+        iteration=previous.iterations,
+        arrays={"p": previous.vector.copy()},
+        params={"n": 128, "damping": 0.85, "tol": 1e-8},
+    )
+    path = tmp_path / "warm.npz"
+    snapshot.save(path)
+    runs = [
+        pagerank(updated, kernel="cpu-csr", tol=1e-8, warm_start=seed)
+        for seed in (previous, previous.vector, snapshot, str(path))
+    ]
+    reference = runs[0]
+    assert reference.extra["warm_start"] is True
+    for run in runs[1:]:
+        assert run.iterations == reference.iterations
+        assert np.array_equal(run.vector, reference.vector)
+
+
+def test_warm_start_does_not_mutate_the_seed():
+    base, updated = updated_graph()
+    previous = pagerank(base, kernel="cpu-csr", tol=1e-8)
+    before = previous.vector.copy()
+    pagerank(updated, kernel="cpu-csr", tol=1e-8, warm_start=previous)
+    assert np.array_equal(previous.vector, before)
+
+
+def regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    payload = run_workload()
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    for leg in LEGS:
+        print(f"{leg}: {payload[leg]['iterations']} iterations")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    regenerate()
