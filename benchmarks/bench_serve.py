@@ -1,0 +1,291 @@
+"""Load test of the coalescing query service.
+
+Fires waves of concurrent single-seed PPR queries at a warm
+:class:`~repro.serve.QueryService` and measures three legs, interleaved
+wave by wave so they see the same machine conditions:
+
+* **coalesced** — the service with its batcher on (``max_batch=8``):
+  each 8-client wave fuses into one batched-SpMM walk;
+* **serial** — the *same serving stack* with coalescing disabled
+  (``max_batch=1``): every query runs its own width-1 walk, serialised
+  per graph exactly as a non-coalescing server would behave under the
+  same 8 concurrent clients.  This is the ablation the speedup gate
+  compares against;
+* **solo floor** — bare library calls (:func:`repro.serve.seeded_solo`
+  on a warm engine, no service, no threads): the per-query cost floor,
+  reported for honesty.  Against this floor the coalescing win is the
+  batched-SpMM amortisation alone (~1.4x at this shape — SpMM gathers
+  the matrix once for all 8 columns, but the per-column convergence
+  bookkeeping does not amortise).
+
+Two hard gates:
+
+* every reply from **both** service legs is **bitwise-identical** to
+  its solo run — coalescing (and the width-1 path) must be invisible
+  in the numbers;
+* coalesced throughput is at least ``MIN_SPEEDUP`` times the serial
+  (batcher-off) service at 8 concurrent clients.
+
+Results go to ``benchmarks/results/BENCH_serve.json``; ``--quick`` is
+the CI mode (same graph, fewer waves, gates enforced).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from harness import bench_header  # noqa: E402
+from repro.graphs.rmat import rmat_graph  # noqa: E402
+from repro.mining.pagerank import pagerank_operator  # noqa: E402
+from repro.obs import metrics as obs_metrics  # noqa: E402
+from repro.serve import QueryService, seeded_solo  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+CLIENTS = 8  # concurrent clients per wave (the ISSUE's gate point)
+ALPHA = 0.85
+TOL = 1e-8
+MAX_ITER = 200
+
+#: SpMM amortises the matrix gather across columns, so the coalescing
+#: win scales with nnz work per node: a mean degree of ~15+ keeps the
+#: un-amortisable per-column bookkeeping from dominating.  Growing n
+#: instead hurts — the dense iterate state (four n x k matrices)
+#: scales with n while the gather amortisation does not.  Both configs
+#: therefore pin the BENCH_exec graph shape (n=8192, ~125k nnz); the
+#: full run just takes more waves for tighter statistics.
+NODES, EDGES = 1 << 13, 150_000
+FULL_WAVES, QUICK_WAVES = 20, 4
+
+#: Coalesced throughput over the batcher-off service at 8 clients.
+MIN_SPEEDUP = 1.5
+
+
+def run(quick: bool) -> tuple[dict, list[str]]:
+    waves = QUICK_WAVES if quick else FULL_WAVES
+    nodes, edges = NODES, EDGES
+
+    graph = rmat_graph(nodes, edges, seed=13)
+    rng = np.random.default_rng(29)
+    wave_seeds = [
+        [int(s) for s in rng.integers(0, nodes, size=CLIENTS)]
+        for _ in range(waves)
+    ]
+    n_queries = waves * CLIENTS
+    print(
+        f"R-MAT n={nodes}: {graph.nnz:,} non-zeros, "
+        f"{waves} waves x {CLIENTS} concurrent clients "
+        f"({n_queries} PPR queries, tol {TOL:g})"
+    )
+
+    failures: list[str] = []
+    operator = pagerank_operator(graph)
+
+    prior = obs_metrics.enabled()
+    obs_metrics.enable()
+    obs_metrics.METRICS.reset()
+    coalescing = QueryService(
+        window_seconds=0.002, max_batch=CLIENTS, max_queue=4 * CLIENTS,
+    )
+    coalescing.register("bench", graph)
+    serial = QueryService(
+        window_seconds=0.002, max_batch=1, max_queue=4 * CLIENTS,
+    )
+    serial.register("bench", graph)
+
+    async def wave(service, seeds):
+        return await asyncio.gather(*(
+            service.query(
+                "bench", algorithm="ppr", seed=seed, alpha=ALPHA,
+                tol=TOL, max_iter=MAX_ITER,
+            )
+            for seed in seeds
+        ))
+
+    def solo_wave(seeds):
+        return {
+            seed: seeded_solo(
+                operator, nodes, seed, alpha=ALPHA, tol=TOL,
+                max_iter=MAX_ITER,
+            )
+            for seed in seeds
+        }
+
+    async def drive():
+        # Warm every path outside the timed region: both services'
+        # engines and the solo leg's cached plan.
+        await wave(coalescing, wave_seeds[0][:1])
+        await wave(serial, wave_seeds[0][:1])
+        solo_wave(wave_seeds[0][:1])
+        coalesced_replies = []
+        serial_replies = []
+        solo_results = {}
+        seconds = {"coalesced": 0.0, "serial": 0.0, "solo": 0.0}
+        for seeds in wave_seeds:
+            t0 = time.perf_counter()
+            coalesced_replies.extend(await wave(coalescing, seeds))
+            seconds["coalesced"] += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            serial_replies.extend(await wave(serial, seeds))
+            seconds["serial"] += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            solo_results.update(solo_wave(seeds))
+            seconds["solo"] += time.perf_counter() - t0
+        return coalesced_replies, serial_replies, solo_results, seconds
+
+    try:
+        coalesced_replies, serial_replies, solo_results, seconds = (
+            asyncio.run(drive())
+        )
+
+        mismatches = 0
+        for replies in (coalesced_replies, serial_replies):
+            for reply in replies:
+                reference = reply.solo()
+                solo = solo_results[reply.seed]
+                if not (
+                    reply.iterations == reference.iterations
+                    and np.array_equal(reply.vector, reference.vector)
+                    and np.array_equal(reply.vector, solo.vector)
+                ):
+                    mismatches += 1
+        if mismatches:
+            failures.append(
+                f"{mismatches} replies diverged bitwise from solo runs"
+            )
+
+        widths = [r.batch_width for r in coalesced_replies]
+        coalesced_fraction = (
+            sum(1 for w in widths if w > 1) / len(coalesced_replies)
+        )
+        if any(r.batch_width != 1 for r in serial_replies):
+            failures.append("the batcher-off service coalesced a batch")
+        sla = coalescing.sla_report()
+    finally:
+        coalescing.close()
+        serial.close()
+        obs_metrics.METRICS.reset()
+        if not prior:
+            obs_metrics.disable()
+
+    qps = {leg: n_queries / t for leg, t in seconds.items()}
+    speedup = qps["coalesced"] / qps["serial"]
+    solo_ratio = qps["coalesced"] / qps["solo"]
+    if speedup < MIN_SPEEDUP:
+        failures.append(
+            f"coalesced throughput {speedup:.2f}x the batcher-off "
+            f"service is below the {MIN_SPEEDUP}x gate"
+        )
+    if coalesced_fraction < 0.5:
+        failures.append(
+            f"only {coalesced_fraction:.0%} of replies were coalesced — "
+            "the load test is not exercising the batcher"
+        )
+
+    result = {
+        "benchmark": "serve",
+        "host": bench_header(),
+        "graph": {
+            "generator": "rmat",
+            "n_nodes": nodes,
+            "requested_edges": edges,
+            "nnz": graph.nnz,
+        },
+        "workload": {
+            "clients": CLIENTS,
+            "waves": waves,
+            "queries": n_queries,
+            "algorithm": "ppr",
+            "alpha": ALPHA,
+            "tol": TOL,
+            "window_seconds": 0.002,
+            "max_batch": CLIENTS,
+        },
+        "legs": {
+            "coalesced": {
+                "seconds": seconds["coalesced"],
+                "queries_per_second": qps["coalesced"],
+                "coalesced_fraction": coalesced_fraction,
+                "mean_batch_width": float(np.mean(widths)),
+                "max_batch_width": int(max(widths)),
+            },
+            "serial": {
+                "description": "same service, max_batch=1 (batcher off)",
+                "seconds": seconds["serial"],
+                "queries_per_second": qps["serial"],
+            },
+            "solo_floor": {
+                "description": "bare seeded_solo on a warm engine",
+                "seconds": seconds["solo"],
+                "queries_per_second": qps["solo"],
+            },
+        },
+        "speedup_vs_serial_service": speedup,
+        "speedup_vs_solo_floor": solo_ratio,
+        "speedup_gate": MIN_SPEEDUP,
+        "bitwise_checked": len(coalesced_replies) + len(serial_replies),
+        "bitwise_mismatches": mismatches,
+        "sla": sla,
+        # The gated win is SpMM column amortisation plus not paying the
+        # per-query serving overhead 8 times — no parallelism involved,
+        # so the gate arms on a single-core host.
+        "hardware_limited": False,
+        "quick": quick,
+    }
+
+    print(
+        f"solo floor: {seconds['solo']:7.3f} s  "
+        f"({qps['solo']:7.1f} queries/s; bare library calls)"
+    )
+    print(
+        f"serial:     {seconds['serial']:7.3f} s  "
+        f"({qps['serial']:7.1f} queries/s; service, batcher off)"
+    )
+    print(
+        f"coalesced:  {seconds['coalesced']:7.3f} s  "
+        f"({qps['coalesced']:7.1f} queries/s, "
+        f"{coalesced_fraction:.0%} coalesced, "
+        f"mean width {np.mean(widths):.1f})"
+    )
+    print(
+        f"speedup: {speedup:5.2f}x vs serial service (gate "
+        f"{MIN_SPEEDUP}x), {solo_ratio:5.2f}x vs solo floor   "
+        f"bitwise mismatches: {mismatches}"
+    )
+    return result, failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI mode: same graph, fewer waves, gates enforced",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="result path (default: benchmarks/results/BENCH_serve.json)",
+    )
+    args = parser.parse_args()
+    result, failures = run(quick=args.quick)
+    out = Path(args.out) if args.out else RESULTS_DIR / "BENCH_serve.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

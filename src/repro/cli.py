@@ -37,6 +37,11 @@ Small, scriptable entry points over the library's main flows:
 ``scenarios``
     List the curated scenario corpus, or generate one scenario (or a
     user-supplied spec file) as a seeded MatrixMarket matrix.
+``serve``
+    Long-lived query service: register a graph (MatrixMarket or R-MAT),
+    keep its plans hot and answer PPR/RWR/HITS queries over a
+    JSON-lines socket with coalesced batched execution; ``--selftest``
+    runs the concurrent bitwise smoke instead of serving.
 """
 
 from __future__ import annotations
@@ -339,6 +344,75 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument(
         "--out", default=None, metavar="FILE",
         help="write the JSON report here",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve PPR/RWR/HITS queries over a JSON-lines socket with "
+        "coalesced batched execution (--selftest for the CI smoke)",
+    )
+    serve.add_argument(
+        "matrix", nargs="?", default=None, metavar="MATRIX.mtx",
+        help="MatrixMarket file to serve (default: a seeded R-MAT "
+        "graph)",
+    )
+    serve.add_argument(
+        "--selftest", action="store_true",
+        help="fire concurrent mixed queries at an in-process service, "
+        "verify every reply bitwise against solo execution, print the "
+        "SLA report and exit non-zero on any mismatch",
+    )
+    serve.add_argument(
+        "--clients", type=int, default=32,
+        help="concurrent queries for --selftest (default: 32)",
+    )
+    serve.add_argument(
+        "--nodes", type=int, default=1024, help="R-MAT vertex count"
+    )
+    serve.add_argument(
+        "--edges", type=int, default=8192, help="R-MAT edge draws"
+    )
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--name", default=None,
+        help="graph name to register (default: file stem or 'rmat')",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7077,
+        help="listening port (0 picks a free one; default: 7077)",
+    )
+    serve.add_argument(
+        "--window-ms", type=float, default=2.0,
+        help="coalescing window in milliseconds (default: 2)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8,
+        help="maximum coalesced batch width (default: 8)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="admission-control in-flight budget (default: 64)",
+    )
+    serve.add_argument(
+        "--max-warm", type=int, default=4,
+        help="maximum graphs with live engines (default: 4)",
+    )
+    serve.add_argument(
+        "--shards", type=_shard_count, default=None, metavar="N|auto",
+        help="serve through a sharded executor (default: cached plan)",
+    )
+    serve.add_argument(
+        "--shard-mode", choices=["thread", "process"], default=None,
+        help="shard fan-out mechanism (requires --shards)",
+    )
+    serve.add_argument(
+        "--tune", action="store_true",
+        help="let the measured auto-tuner pick the execution engine",
+    )
+    serve.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the selftest JSON report here",
     )
     return parser
 
@@ -907,6 +981,110 @@ def _cmd_update(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.errors import ValidationError
+    from repro.serve import QueryService, run_selftest, serve_tcp
+
+    if args.selftest:
+        if args.matrix is not None:
+            raise ValidationError(
+                "--selftest runs on its own seeded R-MAT graph; do not "
+                "also pass a matrix file"
+            )
+        report = run_selftest(
+            clients=args.clients,
+            n_nodes=args.nodes,
+            nnz=args.edges,
+            graph_seed=args.seed,
+            window_seconds=args.window_ms / 1e3,
+            max_batch=args.max_batch,
+        )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2)
+        sla = report["sla"]
+        rows = [
+            ["clients", report["clients"]],
+            ["bitwise checked", report["bitwise_checked"]],
+            ["bitwise mismatches", len(report["bitwise_mismatches"])],
+            ["coalesced queries", report["coalesced_queries"]],
+            ["max batch width", report["max_batch_width"]],
+            ["statuses", ", ".join(report["statuses"])],
+            ["rejected", sla["rejected"]],
+        ]
+        for label, stats in sla["latency_seconds"].items():
+            rows.append([
+                label,
+                f"p50 {stats['p50'] * 1e3:.2f} ms / "
+                f"p99 {stats['p99'] * 1e3:.2f} ms",
+            ])
+        print(ascii_table(
+            ["metric", "value"], rows,
+            title=f"repro serve --selftest — R-MAT {args.nodes:,} "
+            f"nodes, {args.clients} concurrent clients",
+        ))
+        verdict = "ok" if report["ok"] else "FAILED"
+        print(f"selftest {verdict}: every reply checked bitwise "
+              "against its solo run")
+        if args.out:
+            print(f"report written to {args.out}")
+        return 0 if report["ok"] else 1
+
+    if args.matrix is not None:
+        from repro.io.matrix_market import read_matrix_market
+
+        try:
+            matrix = read_matrix_market(args.matrix)
+        except OSError as exc:
+            raise ValidationError(
+                f"cannot read {args.matrix!r}: {exc}"
+            ) from exc
+        import os
+
+        name = args.name or os.path.splitext(
+            os.path.basename(args.matrix)
+        )[0]
+    else:
+        from repro.graphs.rmat import rmat_graph
+
+        matrix = rmat_graph(args.nodes, args.edges, seed=args.seed)
+        name = args.name or "rmat"
+    from repro.obs import metrics as obs_metrics
+
+    obs_metrics.enable()  # the stats op should report real SLA numbers
+    service = QueryService(
+        window_seconds=args.window_ms / 1e3,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        max_warm=args.max_warm,
+    )
+    service.register(
+        name, matrix,
+        n_shards=args.shards, shard_mode=args.shard_mode,
+        tune=args.tune, tune_options=None,
+    )
+
+    async def main_loop():
+        server = await serve_tcp(service, host=args.host, port=args.port)
+        bound = server.sockets[0].getsockname()
+        print(f"serving graph {name!r} (shape {matrix.shape}, "
+              f"nnz {matrix.nnz:,}) on {bound[0]}:{bound[1]}")
+        print('protocol: one JSON object per line, e.g. '
+              '{"graph": "%s", "algorithm": "ppr", "seed": 0}' % name)
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(main_loop())
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.close()
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "formats": _cmd_formats,
@@ -920,6 +1098,7 @@ _COMMANDS = {
     "fit": _cmd_fit,
     "scenarios": _cmd_scenarios,
     "update": _cmd_update,
+    "serve": _cmd_serve,
 }
 
 

@@ -33,6 +33,24 @@ class ValidationError(ReproError):
     """A matrix or parameter failed structural validation."""
 
 
+class ExecutorClosedError(ValidationError):
+    """An executor (or its process pool) was closed while/before a call.
+
+    Subclasses :class:`ValidationError` so callers that already guard the
+    pre-existing "executor is closed" :class:`ValidationError` keep working;
+    the dedicated type lets long-lived services (``repro.serve``) distinguish
+    a drained hot-pool eviction from a genuine argument error.
+    """
+
+
+class ServiceOverloadedError(ReproError):
+    """The query service's admission queue is full; the query was rejected."""
+
+
+class GraphNotRegisteredError(ValidationError):
+    """A query referenced a graph name the service does not know."""
+
+
 class InjectedFault(ReproError):
     """A fault raised on purpose by :class:`repro.resilience.FaultInjector`.
 

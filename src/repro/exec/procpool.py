@@ -34,7 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.errors import ExecutorClosedError, ValidationError
 
 __all__ = ["ProcessShardPool", "default_start_method"]
 
@@ -354,6 +354,10 @@ class ProcessShardPool:
         timeout: float | None = None,
     ) -> list[int]:
         """Run one SpMV round; returns the failed shard indices."""
+        if self._closed:
+            # Guard before the staging copy: ``close()`` unmaps the
+            # shared segments, so touching ``_x`` here would crash.
+            raise ExecutorClosedError("process shard pool is closed")
         np.copyto(self._x, x)
         failed = self._round(("spmv",), shard_seconds, timeout)
         np.copyto(out, self._out)
@@ -368,6 +372,8 @@ class ProcessShardPool:
     ) -> list[int]:
         """Run one batched SpMM round; returns the failed shard
         indices."""
+        if self._closed:
+            raise ExecutorClosedError("process shard pool is closed")
         k = X.shape[1]
         self._ensure_spmm(k)
         np.copyto(self._X, X)
@@ -386,7 +392,7 @@ class ProcessShardPool:
         timeout: float | None,
     ) -> list[int]:
         if self._closed:
-            raise ValidationError("process shard pool is closed")
+            raise ExecutorClosedError("process shard pool is closed")
         failed: list[int] = []
         sent: list[int] = []
         for index, worker in self._workers.items():

@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.errors import (
     CorruptedOutputError,
+    ExecutorClosedError,
     ShardExecutionError,
     ValidationError,
 )
@@ -282,10 +283,20 @@ class ShardedExecutor:
         adaptive: bool | ReshardPolicy | None = None,
     ) -> None:
         # Lifecycle flags first: ``close``/``__del__`` must be safe on an
-        # instance whose construction failed at any later line.
+        # instance whose construction failed at any later line.  The call
+        # lock is part of that contract — ``close()`` takes it to drain
+        # in-flight calls, so it must exist before anything can fail.
         self._closed = False
         self._pool = None
         self._procpool = None
+        # Serialises whole calls: the shard pools and the shard-seconds
+        # array are per-executor state, so concurrent ``spmv``/``spmm``
+        # calls from different threads are safe (they queue) while the
+        # internal shard fan-out still runs in parallel.  ``close()``
+        # acquires the same lock, which makes eviction drain: it either
+        # waits for the in-flight call or the late caller sees ``_closed``
+        # under the lock and fails loudly.
+        self._call_lock = threading.Lock()
 
         from repro.multigpu.bitonic import (
             bitonic_partition,
@@ -424,11 +435,6 @@ class ShardedExecutor:
                 thread_name_prefix="repro-shard",
             )
         self._workspace = WorkspacePool()
-        # Serialises whole calls: the shard pools and the shard-seconds
-        # array are per-executor state, so concurrent ``spmv``/``spmm``
-        # calls from different threads are safe (they queue) while the
-        # internal shard fan-out still runs in parallel.
-        self._call_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -501,8 +507,14 @@ class ShardedExecutor:
 
     def _run(self, rhs: np.ndarray, out: np.ndarray, *, batched: bool) -> None:
         if self._closed:
-            raise ValidationError("executor is closed")
+            raise ExecutorClosedError("executor is closed")
         with self._call_lock:
+            # Re-check under the lock: ``close()`` holds ``_call_lock``
+            # while it tears the pools down, so a call that lost the race
+            # fails loudly here instead of submitting to a shut pool or
+            # touching unlinked shared memory.
+            if self._closed:
+                raise ExecutorClosedError("executor is closed")
             if self._matrix.data_version != self._data_version:
                 self._refresh_shards()
             active = self._active
@@ -994,12 +1006,26 @@ class ShardedExecutor:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker threads down; the executor is unusable after.
+        """Shut the worker pools down; the executor is unusable after.
+
+        Drains: acquires ``_call_lock``, so an in-flight ``spmv``/``spmm``
+        completes (and its ``out`` is fully written) before the thread pool
+        shuts down or the process pool unlinks its shared-memory segments.
+        Calls that arrive after the drain raise
+        :class:`~repro.errors.ExecutorClosedError`.
 
         Idempotent, and safe on a partially-constructed instance (an
-        ``__init__`` that failed before the pool existed): ``_pool`` is
-        read defensively and double closes are no-ops.
+        ``__init__`` that failed before the pool existed): the lock and
+        pools are read defensively and double closes are no-ops.
         """
+        lock = getattr(self, "_call_lock", None)
+        if lock is None:
+            self._teardown_pools()
+            return
+        with lock:
+            self._teardown_pools()
+
+    def _teardown_pools(self) -> None:
         self._closed = True
         pool = getattr(self, "_pool", None)
         if pool is not None:

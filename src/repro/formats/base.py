@@ -211,19 +211,31 @@ class SparseMatrix(abc.ABC):
         winning ``format x backend x shard-count`` configuration in a
         :class:`~repro.tuner.tuner.TunedEngine` with the same
         ``spmv``/``spmm`` interface as a plan.  The engine is cached
-        per option set, so repeated calls return the identical object;
-        within one process the tuning itself also resolves from the
-        on-disk cache in O(1) after the first measurement.
+        per option set **and environment**: repeated calls return the
+        identical object while the environment key (CPU count, affinity,
+        backends, library versions) is unchanged, but a long-lived
+        process whose affinity mask shrinks or grows re-tunes instead of
+        replaying a shard-count decision made for a different machine
+        shape.  Within one process the tuning itself also resolves from
+        the on-disk cache in O(1) after the first measurement.
         """
+        from repro.tuner import environment_key, tune
+
         engines = self.__dict__.setdefault("_tuned_engines", {})
         key = repr(sorted(tune_options.items()))
-        engine = engines.get(key)
-        if engine is None:
-            from repro.tuner import tune
-
-            decision = tune(self, **tune_options)
-            engine = decision.build_engine(self)
-            engines[key] = engine
+        environment = environment_key()
+        cached = engines.get(key)
+        if cached is not None:
+            cached_environment, engine = cached
+            if cached_environment == environment:
+                return engine
+            # Stale environment: drain the old engine's workers before
+            # replacing it (its shard count was sized for a machine
+            # shape that no longer exists).
+            engine.close()
+        decision = tune(self, **tune_options)
+        engine = decision.build_engine(self)
+        engines[key] = (environment, engine)
         return engine
 
     def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:

@@ -32,6 +32,7 @@ from repro.mining.power_method import (
     resume_checkpoint,
 )
 from repro.mining.vector_kernels import reduction_cost, scale_cost
+from repro.tuner.fingerprint import matrix_fingerprint
 
 __all__ = ["HITSResult", "hits", "hits_operator"]
 
@@ -73,6 +74,7 @@ def hits(
     checkpoint=None,
     resume_from=None,
     warm_start=None,
+    warm_start_check: bool = True,
     **kernel_options,
 ) -> MiningResult:
     """Run HITS; the result vector holds authorities then hubs.
@@ -100,18 +102,22 @@ def hits(
     a fresh run (length ``2n`` array, a previous HITS
     :class:`~repro.mining.MiningResult`, or a checkpoint / ``.npz``
     path) — iteration counting restarts at zero; mutually exclusive
-    with ``resume_from``.
+    with ``resume_from``.  A ``MiningResult`` seed is checked against
+    this run's block-operator fingerprint; a result from a different
+    graph raises unless ``warm_start_check=False``.
     """
     coo = adjacency.to_coo()
     n = coo.n_rows
     operator = hits_operator(coo)
+    fingerprint = matrix_fingerprint(operator)
     if isinstance(kernel, SpMVKernel):
         spmv = kernel
     else:
         spmv = create(kernel, operator, device=device, **kernel_options)
     ckpt_config = resolve_checkpoint(checkpoint)
     warm = resolve_warm_start(
-        warm_start, resume_from, (2 * n,), key="v", algorithm="hits"
+        warm_start, resume_from, (2 * n,), key="v", algorithm="hits",
+        fingerprint=fingerprint, check=warm_start_check,
     )
     snapshot = resume_checkpoint(resume_from, "hits", n=n)
     start_iteration = 0
@@ -189,6 +195,7 @@ def hits(
         "tol": tol,
         "multi_vector": multi_vector,
         "n_shards": shards_used,
+        "operator_fingerprint": fingerprint,
     }
     if start_iteration:
         extra["resume_iteration"] = start_iteration

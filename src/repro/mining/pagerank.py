@@ -27,6 +27,7 @@ from repro.mining.power_method import (
     resume_checkpoint,
 )
 from repro.mining.vector_kernels import axpy_cost, reduction_cost
+from repro.tuner.fingerprint import matrix_fingerprint
 
 __all__ = ["PageRankResult", "pagerank", "pagerank_operator"]
 
@@ -69,6 +70,7 @@ def pagerank(
     checkpoint=None,
     resume_from=None,
     warm_start=None,
+    warm_start_check: bool = True,
     **kernel_options,
 ) -> MiningResult:
     """Run PageRank and report the converged vector plus simulated cost.
@@ -114,7 +116,11 @@ def pagerank(
         after a small update the old vector is near the new fixed point
         and convergence takes a fraction of the cold iterations.  The
         teleport base stays the uniform ``p0`` regardless.  Mutually
-        exclusive with ``resume_from``.
+        exclusive with ``resume_from``.  A ``MiningResult`` seed is
+        checked against this run's operator fingerprint — a result
+        from a different graph raises unless ``warm_start_check=False``
+        (the dynamic-update idiom, where the structure legitimately
+        changed).
     """
     if not 0 < damping < 1:
         raise ValidationError(f"damping must be in (0, 1), got {damping}")
@@ -125,9 +131,11 @@ def pagerank(
     else:
         spmv = create(kernel, operator, device=device, **kernel_options)
     n = operator.n_rows
+    fingerprint = matrix_fingerprint(operator)
     ckpt_config = resolve_checkpoint(checkpoint)
     warm = resolve_warm_start(
-        warm_start, resume_from, (n,), key="p", algorithm="pagerank"
+        warm_start, resume_from, (n,), key="p", algorithm="pagerank",
+        fingerprint=fingerprint, check=warm_start_check,
     )
     snapshot = resume_checkpoint(
         resume_from, "pagerank", n=n, damping=damping
@@ -195,7 +203,12 @@ def pagerank(
         + reduction_cost(n, dev)     # convergence check
     ).relabel(f"pagerank/{spmv.name}")
     total = per_iteration.scaled(iterations).relabel(per_iteration.label)
-    extra = {"damping": damping, "tol": tol, "n_shards": shards_used}
+    extra = {
+        "damping": damping,
+        "tol": tol,
+        "n_shards": shards_used,
+        "operator_fingerprint": fingerprint,
+    }
     if start_iteration:
         extra["resume_iteration"] = start_iteration
     if warm is not None:

@@ -142,7 +142,7 @@ def resume_checkpoint(resume_from, algorithm: str, **require):
 
 def resolve_warm_start(
     warm_start, resume_from, shape: tuple[int, ...], *, key: str,
-    algorithm: str,
+    algorithm: str, fingerprint: str | None = None, check: bool = True,
 ):
     """Normalise a mining ``warm_start=`` argument to a seed array.
 
@@ -160,6 +160,18 @@ def resolve_warm_start(
     restarts at zero and only shape/finiteness are enforced.  The two
     are mutually exclusive; asking for both is a contradiction
     (resume pins the iterate, warm start replaces it) and raises.
+
+    A :class:`MiningResult` additionally carries the structural
+    fingerprint of the operator it converged on
+    (``extra["operator_fingerprint"]``).  When the caller passes this
+    run's ``fingerprint`` and ``check`` is true (the default), a
+    mismatch raises :class:`~repro.errors.ValidationError` — a result
+    from a *different* graph that happens to share the shape is almost
+    always a caller bug (the wrong variable, a stale handle), and the
+    power method would silently converge to the right answer from a
+    nonsense seed, hiding it.  Pass ``check=False`` (the mining entry
+    points' ``warm_start_check=False``) for the dynamic-graph idiom
+    where the fingerprint legitimately changed between runs.
     """
     if warm_start is None:
         return None
@@ -173,6 +185,19 @@ def resolve_warm_start(
 
     value = warm_start
     if isinstance(value, MiningResult):
+        stamped = value.extra.get("operator_fingerprint")
+        if (
+            check
+            and fingerprint is not None
+            and stamped is not None
+            and stamped != fingerprint
+        ):
+            raise ValidationError(
+                f"{algorithm}: warm_start comes from a different matrix "
+                f"(operator fingerprint {stamped} != {fingerprint}); "
+                "pass warm_start_check=False if the graph legitimately "
+                "changed (the dynamic-update idiom)"
+            )
         value = value.vector
     elif isinstance(value, Checkpoint):
         value = value.array(key)

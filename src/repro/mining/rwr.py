@@ -30,6 +30,7 @@ from repro.mining.power_method import (
     resume_checkpoint,
 )
 from repro.mining.vector_kernels import axpy_cost, reduction_cost
+from repro.tuner.fingerprint import matrix_fingerprint
 
 __all__ = ["RWRResult", "random_walk_with_restart", "rwr_operator"]
 
@@ -67,6 +68,7 @@ def random_walk_with_restart(
     checkpoint=None,
     resume_from=None,
     warm_start=None,
+    warm_start_check: bool = True,
     **kernel_options,
 ) -> MiningResult:
     """Run RWR for each query node and average the simulated cost.
@@ -114,6 +116,7 @@ def random_walk_with_restart(
         )
     coo = adjacency.to_coo()
     operator = rwr_operator(coo)
+    fingerprint = matrix_fingerprint(operator)
     if isinstance(kernel, SpMVKernel):
         spmv = kernel
     else:
@@ -150,7 +153,8 @@ def random_walk_with_restart(
         raise ValidationError("query node out of range")
     warm = resolve_warm_start(
         warm_start, resume_from, (n, queries.size), key="R",
-        algorithm="rwr",
+        algorithm="rwr", fingerprint=fingerprint,
+        check=warm_start_check,
     )
 
     dev = spmv.device
@@ -186,6 +190,7 @@ def random_walk_with_restart(
         "per_query_iterations": iteration_counts,
         "batched": batched,
         "n_shards": shards_used,
+        "operator_fingerprint": fingerprint,
     }
     if snapshot is not None:
         extra["resume_iteration"] = snapshot.iteration

@@ -1,0 +1,27 @@
+"""Long-lived graph-mining query service (see DESIGN.md §16).
+
+``QueryService`` keeps tuned plans and sharded executors hot per
+registered graph and coalesces concurrent single-seed PPR/RWR queries
+into batched SpMM runs that stay bitwise-identical to solo execution;
+``serve_tcp`` exposes it over a JSON-lines socket and ``run_selftest``
+is the end-to-end smoke the CLI and CI run.
+"""
+
+from repro.serve.batch import WalkResult, seeded_batch, seeded_solo
+from repro.serve.service import (
+    QueryReply,
+    QueryService,
+    SEEDED_ALGORITHMS,
+)
+from repro.serve.server import run_selftest, serve_tcp
+
+__all__ = [
+    "QueryReply",
+    "QueryService",
+    "SEEDED_ALGORITHMS",
+    "WalkResult",
+    "run_selftest",
+    "seeded_batch",
+    "seeded_solo",
+    "serve_tcp",
+]

@@ -295,3 +295,36 @@ class TestUpdateCommand:
         code, _, err = run(capsys, "update", "/nonexistent/g.mtx")
         assert code == 2
         assert "error:" in err
+
+
+class TestServeCommand:
+    def test_selftest_smoke(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "serve.json"
+        code, out, _ = run(
+            capsys, "serve", "--selftest", "--clients", "12",
+            "--nodes", "256", "--edges", "2048",
+            "--out", str(report_path),
+        )
+        assert code == 0
+        assert "selftest ok" in out
+        assert "bitwise" in out
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is True
+        assert report["bitwise_checked"] == 12
+        assert report["bitwise_mismatches"] == []
+        assert report["coalesced_queries"] > 0
+        assert report["sla"]["queries"] == 12
+
+    def test_selftest_rejects_matrix_argument(self, capsys):
+        code, _, err = run(
+            capsys, "serve", "--selftest", "/tmp/whatever.mtx",
+        )
+        assert code == 2
+        assert "--selftest" in err
+
+    def test_missing_file_fails_cleanly(self, capsys):
+        code, _, err = run(capsys, "serve", "/nonexistent/g.mtx")
+        assert code == 2
+        assert "error:" in err

@@ -10,11 +10,12 @@ steady state, and the mining loops running unchanged on shards.
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
 
-from repro.errors import ValidationError
+from repro.errors import ExecutorClosedError, ValidationError
 from repro.exec import (
     AUTO_MIN_NNZ_PER_SHARD,
     ShardedExecutor,
@@ -502,3 +503,120 @@ def test_hammer_queries_during_updates_from_eight_threads():
         assert np.array_equal(out, expected[version]), (
             f"result diverged from version {version}'s rebuild"
         )
+
+
+# ----------------------------------------------------------------------
+# Close / eviction racing in-flight calls
+# ----------------------------------------------------------------------
+
+
+def _hammer_close_while_querying(make_executor, *, rounds: int) -> None:
+    """Shared body: 8 threads query while the main thread closes.
+
+    Every call must either return a fully-written, bitwise-correct
+    ``out`` or raise :class:`ExecutorClosedError` — never a torn buffer
+    (detected via a NaN-prefilled ``out``), never a crash from a shut
+    thread pool or an unlinked shared-memory segment.
+    """
+    n_threads = 8
+    matrix = random_coo(seed=71)
+    x = np.random.default_rng(72).random(matrix.n_cols)
+    X = np.random.default_rng(73).random((matrix.n_cols, 4))
+    with ShardedExecutor(matrix, 2) as reference:
+        expected_v = reference.spmv(x)
+        expected_m = reference.spmm(X)
+    for round_no in range(rounds):
+        ex = make_executor(matrix)
+        errors: list[Exception] = []
+        clean_rejections = [0] * n_threads
+        barrier = threading.Barrier(n_threads + 1)
+
+        def worker(i: int) -> None:
+            try:
+                barrier.wait()
+                for _ in range(40):
+                    out = np.full(matrix.n_rows, np.nan)
+                    Out = np.full((matrix.n_rows, 4), np.nan)
+                    try:
+                        ex.spmv(x, out=out)
+                    except ExecutorClosedError:
+                        clean_rejections[i] += 1
+                        return
+                    if not np.array_equal(out, expected_v):
+                        raise AssertionError(
+                            f"torn/wrong spmv out, thread {i}"
+                        )
+                    try:
+                        ex.spmm(X, out=Out)
+                    except ExecutorClosedError:
+                        clean_rejections[i] += 1
+                        return
+                    if not np.array_equal(Out, expected_m):
+                        raise AssertionError(
+                            f"torn/wrong spmm out, thread {i}"
+                        )
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        # Stagger the eviction so it lands mid-flight at different
+        # points across rounds.
+        time.sleep(0.0005 * round_no)
+        ex.close()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        # After the drain the executor stays closed: late calls reject.
+        with pytest.raises(ExecutorClosedError):
+            ex.spmv(x)
+
+
+def test_hammer_close_while_querying_thread_mode():
+    """The satellite-1 race: eviction during concurrent queries.
+
+    Before the fix, ``close()`` flipped ``_closed`` and shut the pool
+    *without* taking the call lock, so an in-flight ``_run`` could see
+    ``self._pool`` become ``None`` between its null-check and its
+    ``submit`` (AttributeError mid-query) or read a half-degraded
+    state.  ``close()`` now drains via ``_call_lock``.
+    """
+    _hammer_close_while_querying(
+        lambda m: ShardedExecutor(m, 4, mode="thread"), rounds=8
+    )
+
+
+def test_hammer_close_while_querying_process_mode():
+    """Same race against the shared-memory process pool: ``close()``
+    unlinking the x/out segments under an active round must never
+    produce a torn ``out`` or a worker crash."""
+    _hammer_close_while_querying(
+        lambda m: ShardedExecutor(m, 2, mode="process"), rounds=2
+    )
+
+
+def test_close_is_idempotent_and_reentrant_after_drain():
+    matrix = random_coo(seed=74)
+    ex = ShardedExecutor(matrix, 3)
+    ex.spmv(np.ones(matrix.n_cols))
+    ex.close()
+    ex.close()  # double close is a no-op
+    with pytest.raises(ExecutorClosedError):
+        ex.spmm(np.ones((matrix.n_cols, 2)))
+
+
+def test_closed_process_pool_raises_dedicated_error():
+    from repro.exec.procpool import ProcessShardPool
+
+    matrix = random_coo(seed=75)
+    ex = ShardedExecutor(matrix, 2, mode="process")
+    pool = ex._procpool
+    assert isinstance(pool, ProcessShardPool)
+    ex.close()
+    with pytest.raises(ExecutorClosedError):
+        pool.spmv(np.ones(matrix.n_cols), np.empty(matrix.n_rows), None)

@@ -580,3 +580,63 @@ class TestRevalidation:
         decision = quick_tune(updated, revalidate=True)
         assert not decision.from_cache  # nothing to drift against
         assert seeded.fingerprint  # seeded row untouched throughout
+
+
+# ----------------------------------------------------------------------
+# Stale affinity in long-lived processes (satellite regression)
+# ----------------------------------------------------------------------
+
+
+class TestStaleAffinity:
+    """A long-lived server's affinity mask can change under it (cgroup
+    resize, taskset, worker respawn under a CPU limit).  The environment
+    key is computed fresh on every ``tune()`` call, so the *on-disk*
+    cache already misses — but the in-memory engine cache on
+    ``SparseMatrix.tuned_plan`` used to key on options alone and kept
+    serving a shard-count decision measured for the old machine shape.
+    """
+
+    @staticmethod
+    def _patch_affinity(monkeypatch, n: int) -> None:
+        # environment_key() imports available_cpu_count from
+        # repro.exec.sharded at call time, so patching the module
+        # attribute changes what every fresh key sees.
+        monkeypatch.setattr(
+            "repro.exec.sharded.available_cpu_count", lambda: n
+        )
+
+    def test_environment_key_tracks_affinity_live(self, monkeypatch):
+        self._patch_affinity(monkeypatch, 8)
+        assert environment_key()["cpu_affinity"] == 8
+        self._patch_affinity(monkeypatch, 2)
+        assert environment_key()["cpu_affinity"] == 2
+
+    def test_disk_cache_misses_after_affinity_change(self, monkeypatch):
+        m = rmat_graph(384, 3000, seed=41)
+        self._patch_affinity(monkeypatch, 8)
+        first = quick_tune(m)
+        assert quick_tune(m).from_cache
+        self._patch_affinity(monkeypatch, 2)
+        second = quick_tune(m)
+        assert not second.from_cache, (
+            "a shard decision measured under affinity 8 must not be "
+            "replayed under affinity 2"
+        )
+        assert first.fingerprint == second.fingerprint
+
+    def test_tuned_plan_retunes_after_affinity_change(self, monkeypatch):
+        # The regression: before the environment-aware engine cache this
+        # returned the identical (stale) engine after the mask changed.
+        m = rmat_graph(384, 3000, seed=42)
+        self._patch_affinity(monkeypatch, 8)
+        engine_wide = m.tuned_plan(repeats=1, warmup=0)
+        assert engine_wide is m.tuned_plan(repeats=1, warmup=0)
+        self._patch_affinity(monkeypatch, 2)
+        engine_narrow = m.tuned_plan(repeats=1, warmup=0)
+        assert engine_narrow is not engine_wide
+        # Stable again at the new shape, and still correct.
+        assert engine_narrow is m.tuned_plan(repeats=1, warmup=0)
+        # The re-tune may land on a different format/backend, so only
+        # floating-point-associativity closeness holds vs the dense ref.
+        x = np.random.default_rng(43).random(m.n_cols)
+        np.testing.assert_allclose(engine_narrow.spmv(x), m.to_dense() @ x)

@@ -29,10 +29,12 @@ import pathlib
 import numpy as np
 import pytest
 
+from repro.errors import ValidationError
 from repro.graphs.dynamic import DynamicMatrix, seeded_update_stream
 from repro.graphs.rmat import rmat_graph
 from repro.mining.hits import hits
 from repro.mining.pagerank import pagerank
+from repro.mining.rwr import random_walk_with_restart
 from repro.obs import metrics as metrics_mod
 from repro.resilience.checkpoint import Checkpoint
 from tests.test_convergence_golden import RTOL, ATOL, trace_payload
@@ -61,12 +63,17 @@ def run_workload() -> dict:
         hits_before = hits(base, kernel="cpu-csr", tol=1e-8)
         legs = {
             "pagerank_cold": pagerank(updated, kernel="cpu-csr", tol=1e-8),
+            # The dynamic-graph idiom: the seed comes from the
+            # pre-update graph, so the operator fingerprint legitimately
+            # differs — warm_start_check=False is the documented opt-out.
             "pagerank_warm": pagerank(
-                updated, kernel="cpu-csr", tol=1e-8, warm_start=pr_before
+                updated, kernel="cpu-csr", tol=1e-8, warm_start=pr_before,
+                warm_start_check=False,
             ),
             "hits_cold": hits(updated, kernel="cpu-csr", tol=1e-8),
             "hits_warm": hits(
-                updated, kernel="cpu-csr", tol=1e-8, warm_start=hits_before
+                updated, kernel="cpu-csr", tol=1e-8, warm_start=hits_before,
+                warm_start_check=False,
             ),
         }
     finally:
@@ -130,7 +137,10 @@ def test_all_warm_start_spellings_are_bitwise_identical(tmp_path):
     path = tmp_path / "warm.npz"
     snapshot.save(path)
     runs = [
-        pagerank(updated, kernel="cpu-csr", tol=1e-8, warm_start=seed)
+        pagerank(
+            updated, kernel="cpu-csr", tol=1e-8, warm_start=seed,
+            warm_start_check=False,
+        )
         for seed in (previous, previous.vector, snapshot, str(path))
     ]
     reference = runs[0]
@@ -144,8 +154,78 @@ def test_warm_start_does_not_mutate_the_seed():
     base, updated = updated_graph()
     previous = pagerank(base, kernel="cpu-csr", tol=1e-8)
     before = previous.vector.copy()
-    pagerank(updated, kernel="cpu-csr", tol=1e-8, warm_start=previous)
+    pagerank(
+        updated, kernel="cpu-csr", tol=1e-8, warm_start=previous,
+        warm_start_check=False,
+    )
     assert np.array_equal(previous.vector, before)
+
+
+# ----------------------------------------------------------------------
+# Cross-matrix warm starts: the fingerprint guard (satellite regression)
+# ----------------------------------------------------------------------
+#
+# Before the guard, resolve_warm_start accepted a MiningResult from a
+# *different* matrix silently whenever the shapes happened to match —
+# the power method then converged to the right answer from a nonsense
+# seed, hiding the caller bug (a stale handle, the wrong variable).
+
+
+def test_cross_matrix_warm_start_raises():
+    a = rmat_graph(128, 1024, seed=13)
+    b = rmat_graph(128, 1024, seed=77)  # same shape, different structure
+    previous = pagerank(a, kernel="cpu-csr", tol=1e-8)
+    assert previous.extra["operator_fingerprint"]
+    with pytest.raises(ValidationError, match="different matrix"):
+        pagerank(b, kernel="cpu-csr", tol=1e-8, warm_start=previous)
+
+
+def test_cross_matrix_warm_start_raises_for_hits_and_rwr():
+    a = rmat_graph(96, 700, seed=21)
+    b = rmat_graph(96, 700, seed=22)
+    hits_prev = hits(a, kernel="cpu-csr", tol=1e-6)
+    with pytest.raises(ValidationError, match="different matrix"):
+        hits(b, kernel="cpu-csr", tol=1e-6, warm_start=hits_prev)
+    queries = np.array([0, 5, 9])
+    rwr_prev = random_walk_with_restart(
+        a, kernel="cpu-csr", queries=queries, tol=1e-6
+    )
+    # The fingerprint guard fires before the (n, k) shape check does.
+    with pytest.raises(ValidationError, match="different matrix"):
+        random_walk_with_restart(
+            b, kernel="cpu-csr", queries=queries, tol=1e-6,
+            warm_start=rwr_prev,
+        )
+
+
+def test_cross_matrix_opt_out_is_honoured():
+    a = rmat_graph(128, 1024, seed=13)
+    b = rmat_graph(128, 1024, seed=77)
+    previous = pagerank(a, kernel="cpu-csr", tol=1e-8)
+    result = pagerank(
+        b, kernel="cpu-csr", tol=1e-8, warm_start=previous,
+        warm_start_check=False,
+    )
+    assert result.extra["warm_start"] is True
+
+
+def test_same_matrix_warm_start_passes_the_check():
+    a = rmat_graph(128, 1024, seed=13)
+    previous = pagerank(a, kernel="cpu-csr", tol=1e-8)
+    result = pagerank(a, kernel="cpu-csr", tol=1e-8, warm_start=previous)
+    assert result.extra["warm_start"] is True
+    assert result.iterations <= previous.iterations
+
+
+def test_raw_array_warm_start_is_not_fingerprint_checked():
+    # Arrays and checkpoints carry no stamp; only shape/finiteness apply.
+    a = rmat_graph(128, 1024, seed=13)
+    b = rmat_graph(128, 1024, seed=77)
+    previous = pagerank(a, kernel="cpu-csr", tol=1e-8)
+    result = pagerank(
+        b, kernel="cpu-csr", tol=1e-8, warm_start=previous.vector
+    )
+    assert result.extra["warm_start"] is True
 
 
 def regenerate() -> None:
